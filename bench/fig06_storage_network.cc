@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 6 — Impact of FIO on DPDK-T latency (the storage-driven DCA
+ * contention, C2).
+ *
+ * (a) DPDK-T (way[4:5]) co-runs with FIO (way[2:3]) while the storage
+ *     block size sweeps 4 KiB – 2 MiB, with DCA globally on or off.
+ *     Expected: with DCA on, network latency inflates with block
+ *     size (leakage from DCA+inclusive ways), peaking around where
+ *     storage throughput saturates; storage throughput itself is
+ *     DCA-insensitive.
+ * (b) DPDK-T solo: DCA off inflates latency unacceptably — the
+ *     reason a global disable is not an answer.
+ */
+
+#include <cstdio>
+
+#include "harness/builders.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace a4;
+
+namespace
+{
+
+struct Point
+{
+    double net_avg_us;
+    double net_p99_us;
+    double storage_gbps;
+};
+
+Point
+runPoint(std::uint64_t block, bool dca_on, bool with_fio)
+{
+    Testbed bed;
+    bed.ddio().setBiosDca(dca_on);
+
+    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
+    pinWays(bed, dpdk, 1, 4, 5);
+
+    FioWorkload *fio = nullptr;
+    if (with_fio) {
+        fio = &addFio(bed, "fio", block);
+        pinWays(bed, *fio, 2, 2, 3);
+    }
+
+    std::vector<Workload *> tracked{&dpdk};
+    if (fio)
+        tracked.push_back(fio);
+    Measurement m(bed, tracked);
+    m.run();
+
+    SystemSample sys = m.system();
+    Point p;
+    p.net_avg_us = dpdk.latency().mean() / 1000.0;
+    p.net_p99_us = dpdk.latency().percentile(99) / 1000.0;
+    p.storage_gbps =
+        fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
+                            1e9 / double(m.windows().measure),
+                        bed.config().scale) /
+                  1e9
+            : 0.0;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Fig. 6a: DPDK-T + FIO, storage block sweep ===\n");
+    Table t({"block", "[on] Net AL us", "[on] Net TL us",
+             "[on] Storage GB/s", "[off] Net AL us", "[off] Net TL us",
+             "[off] Storage GB/s"});
+    for (std::uint64_t kb :
+         {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}) {
+        Point on = runPoint(kb * kKiB, true, true);
+        Point off = runPoint(kb * kKiB, false, true);
+        t.addRow({sformat("%lluKB", (unsigned long long)kb),
+                  Table::num(on.net_avg_us, 1),
+                  Table::num(on.net_p99_us, 1),
+                  Table::num(on.storage_gbps),
+                  Table::num(off.net_avg_us, 1),
+                  Table::num(off.net_p99_us, 1),
+                  Table::num(off.storage_gbps)});
+    }
+    t.print();
+
+    std::printf("\n=== Fig. 6b: DPDK-T solo ===\n");
+    Table t2({"config", "Net AL us", "Net TL us"});
+    Point solo_on = runPoint(0, true, false);
+    Point solo_off = runPoint(0, false, false);
+    t2.addRow({"DCA on", Table::num(solo_on.net_avg_us, 1),
+               Table::num(solo_on.net_p99_us, 1)});
+    t2.addRow({"DCA off", Table::num(solo_off.net_avg_us, 1),
+               Table::num(solo_off.net_p99_us, 1)});
+    t2.print();
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fig. 8 — I/O-device-aware DCA disabling and LLC allocation.
+ *
+ * (a) DPDK-T (way[4:5]) + FIO (way[2:3]) with the *per-port* DDIO
+ *     knob: SSD-DCA off vs all-DCA on, block sizes 16–512 KiB.
+ *     Expected: SSD-DCA off restores near-solo network latency with
+ *     uncompromised storage throughput.
+ * (b) FIO + X-Mem (way[2:5]) with SSD-DCA off, shrinking FIO's ways
+ *     from [2:5] to [2:2]: X-Mem's miss rate falls while FIO
+ *     throughput stays flat (trash-way rationale, O5).
+ */
+
+#include <cstdio>
+
+#include "harness/builders.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+using namespace a4;
+
+namespace
+{
+
+struct PointA
+{
+    double net_avg_us;
+    double net_p99_us;
+    double storage_gbps;
+};
+
+PointA
+runA(std::uint64_t block, bool ssd_dca_off)
+{
+    Testbed bed;
+
+    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
+    pinWays(bed, dpdk, 1, 4, 5);
+
+    FioWorkload &fio = addFio(bed, "fio", block);
+    pinWays(bed, fio, 2, 2, 3);
+    if (ssd_dca_off)
+        bed.ddio().disableDcaForPort(fio.ioPort());
+
+    Measurement m(bed, {&dpdk, &fio});
+    m.run();
+
+    SystemSample sys = m.system();
+    PointA p;
+    p.net_avg_us = dpdk.latency().mean() / 1000.0;
+    p.net_p99_us = dpdk.latency().percentile(99) / 1000.0;
+    p.storage_gbps =
+        unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) * 1e9 /
+                      double(m.windows().measure),
+                  bed.config().scale) /
+        1e9;
+    return p;
+}
+
+struct PointB
+{
+    double xmem_mpa;
+    double storage_gbps;
+};
+
+PointB
+runB(unsigned fio_hi, bool with_fio)
+{
+    Testbed bed;
+
+    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
+    pinWays(bed, xmem, 1, 2, 5);
+
+    FioWorkload *fio = nullptr;
+    if (with_fio) {
+        fio = &addFio(bed, "fio", 2 * kMiB);
+        pinWays(bed, *fio, 2, 2, fio_hi);
+        bed.ddio().disableDcaForPort(fio->ioPort());
+    }
+
+    std::vector<Workload *> tracked{&xmem};
+    if (fio)
+        tracked.push_back(fio);
+    Measurement m(bed, tracked);
+    m.run();
+
+    SystemSample sys = m.system();
+    PointB p;
+    p.xmem_mpa = m.sample(xmem).missesPerAccess();
+    p.storage_gbps =
+        fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
+                            1e9 / double(m.windows().measure),
+                        bed.config().scale) /
+                  1e9
+            : 0.0;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Fig. 8a: per-port SSD-DCA disable "
+                "(DPDK-T + FIO) ===\n");
+    Table ta({"block", "[DCA on] Net AL us", "[DCA on] Net TL us",
+              "[DCA on] Storage GB/s", "[SSD off] Net AL us",
+              "[SSD off] Net TL us", "[SSD off] Storage GB/s"});
+    for (std::uint64_t kb : {16, 32, 64, 128, 256, 512}) {
+        PointA on = runA(kb * kKiB, false);
+        PointA off = runA(kb * kKiB, true);
+        ta.addRow({sformat("%lluKB", (unsigned long long)kb),
+                   Table::num(on.net_avg_us, 1),
+                   Table::num(on.net_p99_us, 1),
+                   Table::num(on.storage_gbps),
+                   Table::num(off.net_avg_us, 1),
+                   Table::num(off.net_p99_us, 1),
+                   Table::num(off.storage_gbps)});
+    }
+    ta.print();
+
+    std::printf("\n=== Fig. 8b: shrinking FIO's ways under SSD-DCA "
+                "off (X-Mem at way[2:5]) ===\n");
+    Table tb({"FIO ways", "X-Mem miss/acc", "Storage GB/s"});
+    PointB solo = runB(0, false);
+    tb.addRow({"X-Mem solo", Table::num(solo.xmem_mpa, 3), "-"});
+    for (unsigned hi : {5, 4, 3, 2}) {
+        PointB p = runB(hi, true);
+        tb.addRow({sformat("[2:%u]", hi), Table::num(p.xmem_mpa, 3),
+                   Table::num(p.storage_gbps)});
+    }
+    tb.print();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 12 — Network performance with varying storage block sizes
+ * (packet size 1514 B).
+ *
+ * Same co-run as Fig. 11, sweeping FIO's block size from 4 KiB to
+ * 2 MiB under Default / Isolate / A4. Reports the network tail
+ * latency and network read (ingress) throughput.
+ *
+ * Expected shape: Default and Isolate degrade as blocks grow
+ * (storage-driven DCA contention), Isolate more so; A4 holds both
+ * metrics once FIO trips the DMA-leak detector (it lets performance
+ * degrade gradually below that detection region, per the paper).
+ */
+
+#include <cstdio>
+
+#include "harness/scenarios.hh"
+#include "harness/table.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+int
+main()
+{
+    setQuiet(true);
+    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,  64,
+                                       128, 256, 512, 1024, 2048};
+    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
+                              Scheme::A4d};
+
+    std::printf("=== Fig. 12: network tail latency / read throughput "
+                "vs storage block (packet 1514B) ===\n");
+    Table t({"scheme", "block", "Net TL (us)", "Net Rd (GB/s)"});
+    for (Scheme s : schemes) {
+        for (std::uint64_t kb : blocks_kb) {
+            MicroResult r = runMicroScenario(s, 1514, kb * kKiB);
+            t.addRow({schemeName(s),
+                      sformat("%lluKB", (unsigned long long)kb),
+                      Table::num(r.net_tail_us, 1),
+                      Table::num(r.net_rd_gbps)});
+        }
+    }
+    t.print();
+    return 0;
+}

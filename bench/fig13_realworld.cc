@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 13 — Real-world workload evaluation (Table 2 mixes).
+ *
+ * (a) HPW-heavy: 7 HPWs (Fastclick, Redis-S/C, x264, parest,
+ *     xalancbmk, lbm) + 4 LPWs (FFSB-H, omnetpp, exchange2, bwaves).
+ * (b) LPW-heavy: 4 HPWs (Fastclick, FFSB-L, mcf, blender) + 8 LPWs.
+ *
+ * Each mix runs under Default, Isolate, and A4-a..d; per-workload
+ * performance (throughput for multi-threaded I/O workloads, IPC for
+ * single-threaded ones) is printed relative to the Default model,
+ * plus the A4-d LLC hit rate. Asterisks mark workloads the A4 run
+ * flagged for pseudo LLC bypassing / DDIO disable.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/scenarios.hh"
+#include "harness/table.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+namespace
+{
+
+void
+runScenario(bool hpw_heavy)
+{
+    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
+                              Scheme::A4a,     Scheme::A4b,
+                              Scheme::A4c,     Scheme::A4d};
+
+    std::map<Scheme, ScenarioResult> results;
+    for (Scheme s : schemes)
+        results[s] = runRealWorldScenario(hpw_heavy, s);
+
+    const ScenarioResult &base = results[Scheme::Default];
+    const ScenarioResult &a4d = results[Scheme::A4d];
+
+    std::printf("\n=== Fig. 13%s: %s scenario ===\n",
+                hpw_heavy ? "a" : "b",
+                hpw_heavy ? "HPW-heavy (7 HPWs + 4 LPWs)"
+                          : "LPW-heavy (4 HPWs + 8 LPWs)");
+    Table t({"workload", "QoS", "Isolate", "A4-a", "A4-b", "A4-c",
+             "A4-d", "A4-d hit"});
+    for (const auto &w : base.workloads) {
+        auto rel = [&](Scheme s) {
+            const WorkloadResult *r = results[s].find(w.name);
+            return Table::num(ratio(r ? r->perf : 0.0, w.perf));
+        };
+        const WorkloadResult *d = a4d.find(w.name);
+        std::string name = w.name + (d && d->antagonist ? "*" : "");
+        t.addRow({name, w.hpw ? "HP" : "LP", rel(Scheme::Isolate),
+                  rel(Scheme::A4a), rel(Scheme::A4b),
+                  rel(Scheme::A4c), rel(Scheme::A4d),
+                  Table::pct(d ? d->llc_hit_rate : 0.0)});
+    }
+    t.print();
+
+    Table avg({"aggregate", "Isolate", "A4-a", "A4-b", "A4-c", "A4-d"});
+    auto row = [&](const char *label, std::optional<bool> filter) {
+        std::vector<std::string> cells{label};
+        for (Scheme s :
+             {Scheme::Isolate, Scheme::A4a, Scheme::A4b, Scheme::A4c,
+              Scheme::A4d}) {
+            cells.push_back(Table::num(
+                ScenarioResult::avgRelative(results[s], base, filter)));
+        }
+        avg.addRow(cells);
+    };
+    row("Avg (HP)", true);
+    row("Avg (LP)", false);
+    row("Avg (all)", std::nullopt);
+    avg.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    runScenario(true);
+    runScenario(false);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 14 — I/O latency breakdowns and system-wide metrics for the
+ * HPW-heavy scenario under Default (DF), Isolate (IS), and A4-a..d.
+ *
+ * (a) Fastclick average-latency breakdown: NIC-to-host, packet-
+ *     pointer access, packet processing.
+ * (b) FFSB-H average-latency breakdown: read, regex, write.
+ * (c) System-wide I/O throughput: Fastclick read/write, FFSB-H
+ *     read/write.
+ * (d) System-wide memory bandwidth: read/write.
+ */
+
+#include <cstdio>
+
+#include "harness/scenarios.hh"
+#include "harness/table.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+int
+main()
+{
+    setQuiet(true);
+    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
+                              Scheme::A4a,     Scheme::A4b,
+                              Scheme::A4c,     Scheme::A4d};
+    const char *labels[] = {"DF", "IS", "A4-a", "A4-b", "A4-c", "A4-d"};
+
+    std::vector<ScenarioResult> results;
+    for (Scheme s : schemes)
+        results.push_back(runRealWorldScenario(true, s));
+
+    std::printf("=== Fig. 14a: Fastclick average latency breakdown "
+                "(us) ===\n");
+    Table ta({"scheme", "NIC-to-host", "Pointer access",
+              "Packet process"});
+    for (unsigned i = 0; i < 6; ++i) {
+        ta.addRow({labels[i], Table::num(results[i].fc_nic_to_host_us, 2),
+                   Table::num(results[i].fc_pointer_us, 3),
+                   Table::num(results[i].fc_process_us, 3)});
+    }
+    ta.print();
+
+    std::printf("\n=== Fig. 14b: FFSB-H average latency breakdown "
+                "(ms) ===\n");
+    Table tb({"scheme", "Read", "RegEx", "Write"});
+    for (unsigned i = 0; i < 6; ++i) {
+        tb.addRow({labels[i], Table::num(results[i].ffsbh_read_ms, 2),
+                   Table::num(results[i].ffsbh_regex_ms, 2),
+                   Table::num(results[i].ffsbh_write_ms, 2)});
+    }
+    tb.print();
+
+    std::printf("\n=== Fig. 14c: system-wide I/O throughput (GB/s) "
+                "===\n");
+    Table tc({"scheme", "Fastclick rd", "Fastclick wr", "FFSB-H rd",
+              "FFSB-H wr"});
+    for (unsigned i = 0; i < 6; ++i) {
+        tc.addRow({labels[i], Table::num(results[i].fc_rd_gbps),
+                   Table::num(results[i].fc_wr_gbps),
+                   Table::num(results[i].ffsbh_rd_gbps),
+                   Table::num(results[i].ffsbh_wr_gbps)});
+    }
+    tc.print();
+
+    std::printf("\n=== Fig. 14d: system-wide memory bandwidth (GB/s) "
+                "===\n");
+    Table td({"scheme", "Mem read", "Mem write"});
+    for (unsigned i = 0; i < 6; ++i) {
+        td.addRow({labels[i], Table::num(results[i].mem_rd_gbps),
+                   Table::num(results[i].mem_wr_gbps)});
+    }
+    td.print();
+    return 0;
+}

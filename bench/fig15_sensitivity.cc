@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 15 — Sensitivity of A4 to its thresholds and timing
+ * parameters, on the HPW-heavy scenario, relative to Default.
+ *
+ * (a) Partitioning thresholds: T5 (antagonist miss-rate) at
+ *     95/90/80 % and T1 (HPW hit-rate drop) at 30/20 %.
+ * (b) Leak-detection thresholds T2/T3/T4: the defaults detect
+ *     FFSB-H; raising them past the critical point loses the
+ *     detection and the HPW gains.
+ * (c) Stable interval: 1/5/10/20 monitoring intervals plus the
+ *     oracle (never reverts) — longer stable intervals approach the
+ *     oracle's performance.
+ */
+
+#include <cstdio>
+
+#include "harness/scenarios.hh"
+#include "harness/table.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+namespace
+{
+
+A4Params
+baseParams()
+{
+    A4Params p;
+    p.monitor_interval = 5 * kMsec;
+    p.min_accesses = 500;
+    p.min_dma_lines = 500;
+    return p;
+}
+
+void
+relRow(Table &t, const std::string &label, const ScenarioResult &r,
+       const ScenarioResult &base)
+{
+    t.addRow({label,
+              Table::num(ScenarioResult::avgRelative(r, base, true)),
+              Table::num(ScenarioResult::avgRelative(r, base, false)),
+              Table::num(
+                  ScenarioResult::avgRelative(r, base, std::nullopt))});
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    ScenarioResult base = runRealWorldScenario(true, Scheme::Default);
+
+    auto runWith = [&](const A4Params &p) {
+        ScenarioOptions opt;
+        opt.a4_override = p;
+        return runRealWorldScenario(true, Scheme::A4d, opt);
+    };
+
+    std::printf("=== Fig. 15a: partitioning thresholds (T1, T5) ===\n");
+    Table ta({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
+    for (double t5 : {0.95, 0.90, 0.80}) {
+        A4Params p = baseParams();
+        p.ant_cache_miss_thr = t5;
+        relRow(ta, sformat("T5=%.0f%% T1=20%%", t5 * 100),
+               runWith(p), base);
+    }
+    for (double t1 : {0.30, 0.20}) {
+        A4Params p = baseParams();
+        p.hpw_llc_hit_thr = t1;
+        relRow(ta, sformat("T5=90%% T1=%.0f%%", t1 * 100),
+               runWith(p), base);
+    }
+    ta.print();
+
+    std::printf("\n=== Fig. 15b: leak-detection thresholds "
+                "(T2/T3/T4) ===\n");
+    Table tb({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
+    struct Combo
+    {
+        double t2, t3, t4;
+    };
+    const Combo combos[] = {
+        {0.40, 0.35, 0.40}, // defaults (detects FFSB-H)
+        {0.50, 0.35, 0.40},
+        {0.40, 0.40, 0.40},
+        {0.40, 0.35, 0.65},
+        {0.80, 0.35, 0.40}, // past the critical point
+        {0.40, 0.60, 0.40}, // storage share never this high
+    };
+    for (const Combo &c : combos) {
+        A4Params p = baseParams();
+        p.dmalk_dca_ms_thr = c.t2;
+        p.dmalk_io_tp_thr = c.t3;
+        p.dmalk_llc_ms_thr = c.t4;
+        relRow(tb,
+               sformat("T2=%.0f%% T3=%.0f%% T4=%.0f%%", c.t2 * 100,
+                       c.t3 * 100, c.t4 * 100),
+               runWith(p), base);
+    }
+    tb.print();
+
+    std::printf("\n=== Fig. 15c: stable interval vs oracle ===\n");
+    Table tc({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
+    for (unsigned si : {1u, 5u, 10u, 20u}) {
+        A4Params p = baseParams();
+        p.stable_intervals = si;
+        relRow(tc, sformat("stable=%u", si), runWith(p), base);
+    }
+    {
+        A4Params p = baseParams();
+        p.enable_revert = false;
+        relRow(tc, "oracle", runWith(p), base);
+    }
+    tc.print();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Performance-counter banks exposed by the cache hierarchy.
+ *
+ * Counters are monotonic; the PCM facade snapshots them per interval.
+ * Per-workload banks model the core-scoped events (every access is
+ * attributed to the workload running on the issuing core) plus the
+ * IIO/DDIO events attributed to the workload owning the I/O buffer.
+ */
+
+#ifndef A4_CACHE_COUNTERS_HH
+#define A4_CACHE_COUNTERS_HH
+
+#include "sim/stats.hh"
+
+namespace a4
+{
+
+/** Per-workload cache/DMA event counters. */
+struct WorkloadCounters
+{
+    // Core-side events.
+    SnapshotCounter mlc_hit;
+    SnapshotCounter mlc_miss;
+    SnapshotCounter llc_hit;  ///< of MLC misses, hit in LLC
+    SnapshotCounter llc_miss; ///< of MLC misses, missed to memory
+
+    // DDIO events for DMA targeting this workload's buffers.
+    SnapshotCounter dma_lines_written; ///< all allocating-path DMA writes
+    SnapshotCounter dma_write_update;  ///< hit an existing LLC line
+    SnapshotCounter dma_write_alloc;   ///< allocated into a DCA way
+    SnapshotCounter dma_nonalloc;      ///< non-allocating (DDIO off) writes
+    SnapshotCounter dma_leaked;        ///< evicted from LLC unconsumed
+
+    // Placement traffic.
+    SnapshotCounter migrated_inclusive; ///< DCA->inclusive migrations (C1)
+    SnapshotCounter bloat_inserts;      ///< consumed I/O lines re-entering LLC
+    SnapshotCounter evicted_by_migration; ///< this workload's lines evicted
+                                          ///< from inclusive ways by others
+
+    // Memory traffic attributed to this workload's accesses.
+    SnapshotCounter mem_read_lines;
+    SnapshotCounter mem_write_lines;
+};
+
+/** System-wide cache event counters. */
+struct GlobalCacheCounters
+{
+    SnapshotCounter llc_lookups;
+    SnapshotCounter llc_evictions;
+    SnapshotCounter llc_writebacks;
+    SnapshotCounter dca_evictions;       ///< evictions out of DCA ways
+    SnapshotCounter inclusive_evictions; ///< evictions out of ways 9-10
+    SnapshotCounter egress_inclusive_alloc; ///< egress read-allocates
+};
+
+} // namespace a4
+
+#endif // A4_CACHE_COUNTERS_HH

@@ -1,0 +1,565 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+CacheSystem::CacheSystem(const CacheGeometry &g, const CacheLatencies &l,
+                         Dram &dram_, CatController &cat_)
+    : geom(g), lat(l), dram(dram_), cat(cat_)
+{
+    if (geom.dca_ways + geom.inclusive_ways > geom.llc_ways)
+        fatal("CacheSystem: DCA + inclusive ways exceed associativity");
+    if (cat.numWays() != geom.llc_ways)
+        fatal("CacheSystem: CAT way count disagrees with geometry");
+
+    dca_mask = CatController::makeMask(0, geom.dca_ways - 1);
+    inclusive_mask = CatController::makeMask(geom.firstInclusiveWay(),
+                                             geom.llc_ways - 1);
+
+    const std::size_t llc_n = std::size_t(geom.llc_sets) * geom.llc_ways;
+    llc_tags.assign(llc_n, 0);
+    llc_lru.assign(llc_n, 0);
+    llc_owner.assign(llc_n, 0);
+    llc_mlc_core.assign(llc_n, 0);
+    llc_tick.assign(geom.llc_sets, 0);
+
+    const std::size_t mlc_n =
+        std::size_t(geom.num_cores) * geom.mlc_sets * geom.mlc_ways;
+    mlc_tags.assign(mlc_n, 0);
+    mlc_lru.assign(mlc_n, 0);
+    mlc_owner.assign(mlc_n, 0);
+    mlc_tick.assign(std::size_t(geom.num_cores) * geom.mlc_sets, 0);
+
+    wl_stats.resize(16);
+}
+
+// --- indexing --------------------------------------------------------------
+
+std::uint64_t
+CacheSystem::mix(std::uint64_t x)
+{
+    // splitmix64 finalizer; stands in for the slice/index hash.
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+unsigned
+CacheSystem::llcSetOf(Addr line) const
+{
+    return static_cast<unsigned>(
+        (static_cast<unsigned __int128>(mix(line)) * geom.llc_sets) >> 64);
+}
+
+unsigned
+CacheSystem::mlcSetOf(Addr line) const
+{
+    return static_cast<unsigned>(
+        (static_cast<unsigned __int128>(mix(line ^ 0xA4A4'5EED'0000'0001ull))
+         * geom.mlc_sets) >> 64);
+}
+
+int
+CacheSystem::llcFindWay(unsigned set, Addr line) const
+{
+    const std::uint64_t *base = &llc_tags[llcIdx(set, 0)];
+    const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
+    for (unsigned w = 0; w < geom.llc_ways; ++w) {
+        if ((base[w] & kMatchMask) == want)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+CacheSystem::mlcFindWay(CoreId core, unsigned set, Addr line) const
+{
+    const std::uint64_t *base = &mlc_tags[mlcIdx(core, set, 0)];
+    const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
+    for (unsigned w = 0; w < geom.mlc_ways; ++w) {
+        if ((base[w] & kMatchMask) == want)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+CacheSystem::touchLlc(unsigned set, unsigned way)
+{
+    // LRU: bump the per-set clock. SRRIP: promote to near-immediate
+    // re-reference (RRPV 0).
+    llc_lru[llcIdx(set, way)] =
+        geom.replacement == LlcReplacement::Lru ? ++llc_tick[set] : 0;
+}
+
+void
+CacheSystem::stampInsertLlc(unsigned set, unsigned way)
+{
+    // SRRIP inserts at a long re-reference interval (RRPV 2), which
+    // is what lets one-shot (bloated) lines age out before reused
+    // ones; LRU inserts at MRU.
+    llc_lru[llcIdx(set, way)] =
+        geom.replacement == LlcReplacement::Lru ? ++llc_tick[set] : 2;
+}
+
+// --- counters ----------------------------------------------------------------
+
+WorkloadCounters &
+CacheSystem::wl(WorkloadId id)
+{
+    if (id >= wl_stats.size())
+        wl_stats.resize(std::size_t(id) + 1);
+    return wl_stats[id];
+}
+
+const WorkloadCounters &
+CacheSystem::wlConst(WorkloadId id) const
+{
+    if (id >= wl_stats.size())
+        wl_stats.resize(std::size_t(id) + 1);
+    return wl_stats[id];
+}
+
+// --- core-side path -----------------------------------------------------------
+
+AccessResult
+CacheSystem::coreRead(Tick now, CoreId core, Addr addr, WorkloadId wl_id)
+{
+    return coreAccess(now, core, addr, wl_id, false);
+}
+
+AccessResult
+CacheSystem::coreWrite(Tick now, CoreId core, Addr addr, WorkloadId wl_id)
+{
+    return coreAccess(now, core, addr, wl_id, true);
+}
+
+AccessResult
+CacheSystem::coreAccess(Tick now, CoreId core, Addr addr, WorkloadId wl_id,
+                        bool is_write)
+{
+    if (core >= geom.num_cores)
+        panic(sformat("core %u out of range", core));
+
+    const Addr line = lineOf(addr);
+    WorkloadCounters &w = wl(wl_id);
+
+    // MLC lookup.
+    const unsigned mset = mlcSetOf(line);
+    if (int mw = mlcFindWay(core, mset, line); mw >= 0) {
+        const std::size_t mi = mlcIdx(core, mset, unsigned(mw));
+        mlc_lru[mi] =
+            ++mlc_tick[std::size_t(core) * geom.mlc_sets + mset];
+        if (is_write)
+            mlc_tags[mi] |= std::uint64_t(kDirty) << kFlagShift;
+        w.mlc_hit.inc();
+        return {HitLevel::MlcHit, lat.mlc_hit_ns};
+    }
+    w.mlc_miss.inc();
+
+    // LLC lookup.
+    const unsigned set = llcSetOf(line);
+    gstats.llc_lookups.inc();
+    if (int lw = llcFindWay(set, line); lw >= 0) {
+        unsigned way = unsigned(lw);
+        std::size_t li = llcIdx(set, way);
+        w.llc_hit.inc();
+        touchLlc(set, way);
+
+        std::uint8_t fl = flagsOf(llc_tags[li]);
+        const WorkloadId owner = llc_owner[li];
+
+        if (fl & kIo) {
+            // Rule 4: consumption of a DMA-written line transitions it
+            // to shared LLC-inclusive, restricted to inclusive ways.
+            fl |= kConsumed;
+            if (way < geom.firstInclusiveWay()) {
+                // Migrate: vacate this slot, re-allocate inside the
+                // inclusive ways (CLOS-independent).
+                llc_tags[li] = 0;
+                way = llcAlloc(now, set, line, inclusive_mask, owner,
+                               fl, EvictCause::Migration);
+                li = llcIdx(set, way);
+                wl(owner).migrated_inclusive.inc();
+            }
+            llc_tags[li] = pack(line, fl | kInMlc);
+            llc_mlc_core[li] = core;
+            mlcInsert(now, core, line, owner, is_write, true);
+        } else {
+            // Plain victim-cache hit: move to the MLC, drop the LLC
+            // copy (non-inclusive exclusivity for non-I/O data).
+            const bool dirty = fl & kDirty;
+            llc_tags[li] = 0;
+            mlcInsert(now, core, line, owner, dirty || is_write, false);
+        }
+        return {HitLevel::LlcHit, lat.llc_hit_ns};
+    }
+
+    // Rule 1: miss fills the MLC only.
+    w.llc_miss.inc();
+    w.mem_read_lines.inc();
+    double mem_ns = dram.readLine(now);
+    mlcInsert(now, core, line, wl_id, is_write, false);
+    return {HitLevel::Memory, mem_ns};
+}
+
+void
+CacheSystem::mlcInsert(Tick now, CoreId core, Addr line, WorkloadId owner,
+                       bool dirty, bool io)
+{
+    const unsigned set = mlcSetOf(line);
+    const std::size_t base = mlcIdx(core, set, 0);
+    std::uint32_t &tick = mlc_tick[std::size_t(core) * geom.mlc_sets + set];
+
+    // Refresh in place if already present (defensive; callers normally
+    // only insert on a confirmed MLC miss).
+    if (int mw = mlcFindWay(core, set, line); mw >= 0) {
+        const std::size_t mi = base + unsigned(mw);
+        std::uint8_t fl = flagsOf(mlc_tags[mi]);
+        fl |= kValid | (dirty ? kDirty : 0) | (io ? kIo : 0);
+        mlc_tags[mi] = pack(line, fl);
+        mlc_lru[mi] = ++tick;
+        return;
+    }
+
+    // Pick an invalid way, else the LRU victim.
+    unsigned victim = 0;
+    bool found_invalid = false;
+    std::uint32_t best = 0;
+    for (unsigned w2 = 0; w2 < geom.mlc_ways; ++w2) {
+        if (!(mlc_tags[base + w2] & kValidEntryBit)) {
+            victim = w2;
+            found_invalid = true;
+            break;
+        }
+        if (w2 == 0 || mlc_lru[base + w2] < best) {
+            best = mlc_lru[base + w2];
+            victim = w2;
+        }
+    }
+    const std::size_t vi = base + victim;
+    if (!found_invalid && (mlc_tags[vi] & kValidEntryBit))
+        mlcEvictEntry(now, core, mlc_tags[vi], mlc_owner[vi]);
+
+    mlc_tags[vi] = pack(line, std::uint8_t(kValid | (dirty ? kDirty : 0) |
+                                           (io ? kIo : 0)));
+    mlc_owner[vi] = owner;
+    mlc_lru[vi] = ++tick;
+}
+
+void
+CacheSystem::mlcEvictEntry(Tick now, CoreId core, std::uint64_t entry,
+                           WorkloadId owner)
+{
+    const Addr line = lineOfEntry(entry);
+    const std::uint8_t fl = flagsOf(entry);
+    const bool dirty = fl & kDirty;
+    const bool io = fl & kIo;
+
+    // If the LLC still holds the line (LLC-inclusive), the eviction
+    // just downgrades it to LLC-exclusive — no new allocation.
+    const unsigned set = llcSetOf(line);
+    if (int lw = llcFindWay(set, line); lw >= 0) {
+        const std::size_t li = llcIdx(set, unsigned(lw));
+        std::uint8_t lf = flagsOf(llc_tags[li]);
+        lf &= static_cast<std::uint8_t>(~kInMlc);
+        if (dirty)
+            lf |= kDirty;
+        llc_tags[li] = pack(line, lf);
+        return;
+    }
+
+    // Rule 2 (+7): allocate into the LLC inside the core's CLOS mask.
+    std::uint8_t nf = std::uint8_t(kValid | (dirty ? kDirty : 0) |
+                                   (io ? (kIo | kConsumed) : 0));
+    llcAlloc(now, set, line, cat.maskForCore(core), owner, nf,
+             EvictCause::Capacity);
+    if (io)
+        wl(owner).bloat_inserts.inc();
+}
+
+void
+CacheSystem::invalidateMlc(CoreId core, Addr line)
+{
+    const unsigned set = mlcSetOf(line);
+    if (int mw = mlcFindWay(core, set, line); mw >= 0)
+        mlc_tags[mlcIdx(core, set, unsigned(mw))] = 0;
+}
+
+// --- LLC allocation / eviction --------------------------------------------------
+
+unsigned
+CacheSystem::llcAlloc(Tick now, unsigned set, Addr line, WayMask mask,
+                      WorkloadId owner, std::uint8_t flags,
+                      EvictCause cause)
+{
+    if (mask == 0)
+        panic("llcAlloc: empty way mask");
+
+    const std::size_t base = llcIdx(set, 0);
+    int victim = -1;
+
+    if (geom.replacement == LlcReplacement::Lru) {
+        std::uint32_t best = 0;
+        for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+            if (!(mask & (1u << w2)))
+                continue;
+            if (!(llc_tags[base + w2] & kValidEntryBit)) {
+                victim = static_cast<int>(w2);
+                break;
+            }
+            if (victim < 0 || llc_lru[base + w2] < best) {
+                best = llc_lru[base + w2];
+                victim = static_cast<int>(w2);
+            }
+        }
+    } else {
+        // SRRIP: evict the first way at the distant RRPV (3); if
+        // none, age every candidate and retry (converges in <= 4
+        // rounds with 2-bit RRPVs).
+        for (int round = 0; round < 4 && victim < 0; ++round) {
+            for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+                if (!(mask & (1u << w2)))
+                    continue;
+                if (!(llc_tags[base + w2] & kValidEntryBit) ||
+                    llc_lru[base + w2] >= 3) {
+                    victim = static_cast<int>(w2);
+                    break;
+                }
+            }
+            if (victim < 0) {
+                for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+                    if ((mask & (1u << w2)) && llc_lru[base + w2] < 3)
+                        ++llc_lru[base + w2];
+                }
+            }
+        }
+    }
+    if (victim < 0)
+        panic("llcAlloc: mask selected no ways");
+
+    const auto w2 = static_cast<unsigned>(victim);
+    if (llc_tags[base + w2] & kValidEntryBit)
+        llcEvictSlot(now, set, w2, cause);
+
+    llc_tags[base + w2] = pack(line, flags | kValid);
+    llc_owner[base + w2] = owner;
+    llc_mlc_core[base + w2] = 0;
+    stampInsertLlc(set, w2);
+    return w2;
+}
+
+void
+CacheSystem::llcEvictSlot(Tick now, unsigned set, unsigned way,
+                          EvictCause cause)
+{
+    const std::size_t li = llcIdx(set, way);
+    const std::uint8_t fl = flagsOf(llc_tags[li]);
+    WorkloadCounters &ow = wl(llc_owner[li]);
+
+    gstats.llc_evictions.inc();
+    if (way < geom.dca_ways)
+        gstats.dca_evictions.inc();
+    if (way >= geom.firstInclusiveWay())
+        gstats.inclusive_evictions.inc();
+
+    if (fl & kDirty) {
+        gstats.llc_writebacks.inc();
+        ow.mem_write_lines.inc();
+        dram.writeLine(now);
+    }
+    // Rule 6: unconsumed I/O line pushed out = DMA leak.
+    if ((fl & kIo) && !(fl & kConsumed))
+        ow.dma_leaked.inc();
+    if (cause == EvictCause::Migration)
+        ow.evicted_by_migration.inc();
+
+    // If an MLC still holds the line it silently becomes MLC-only;
+    // the extended directory keeps tracking it (nothing to do here).
+    llc_tags[li] = 0;
+}
+
+// --- device-side paths -------------------------------------------------------------
+
+void
+CacheSystem::dmaWriteLine(Tick now, Addr addr, WorkloadId owner,
+                          std::span<const CoreId> consumers,
+                          bool allocating)
+{
+    const Addr line = lineOf(addr);
+    WorkloadCounters &w = wl(owner);
+    const unsigned set = llcSetOf(line);
+
+    if (allocating) {
+        w.dma_lines_written.inc();
+        if (int lw = llcFindWay(set, line); lw >= 0) {
+            // Rule 5: write-update in place, wherever the line lives.
+            const std::size_t li = llcIdx(set, unsigned(lw));
+            std::uint8_t fl = flagsOf(llc_tags[li]);
+            if (fl & kInMlc) {
+                invalidateMlc(llc_mlc_core[li], line);
+                fl &= static_cast<std::uint8_t>(~kInMlc);
+            }
+            fl |= kDirty | kIo;
+            fl &= static_cast<std::uint8_t>(~kConsumed);
+            llc_tags[li] = pack(line, fl);
+            llc_owner[li] = owner;
+            touchLlc(set, unsigned(lw));
+            w.dma_write_update.inc();
+        } else {
+            // Stale copies may linger in consumer MLCs (the line was
+            // consumed through the memory path after a leak).
+            for (CoreId c : consumers)
+                invalidateMlc(c, line);
+            llcAlloc(now, set, line, dca_mask, owner,
+                     kValid | kDirty | kIo, EvictCause::DmaAlloc);
+            w.dma_write_alloc.inc();
+        }
+    } else {
+        // Rule 8: non-allocating write — memory traffic + invalidation.
+        w.dma_nonalloc.inc();
+        w.mem_write_lines.inc();
+        dram.writeLine(now);
+        if (int lw = llcFindWay(set, line); lw >= 0) {
+            const std::size_t li = llcIdx(set, unsigned(lw));
+            if (flagsOf(llc_tags[li]) & kInMlc)
+                invalidateMlc(llc_mlc_core[li], line);
+            llc_tags[li] = 0;
+        } else {
+            for (CoreId c : consumers)
+                invalidateMlc(c, line);
+        }
+    }
+}
+
+bool
+CacheSystem::dmaReadLine(Tick now, Addr addr, WorkloadId owner,
+                         std::span<const CoreId> cores)
+{
+    const Addr line = lineOf(addr);
+    const unsigned set = llcSetOf(line);
+
+    if (int lw = llcFindWay(set, line); lw >= 0) {
+        touchLlc(set, unsigned(lw));
+        return true;
+    }
+
+    // MLC-only data: egress read-allocates a copy in the inclusive
+    // ways (rule 9), making the line LLC-inclusive.
+    for (CoreId c : cores) {
+        const unsigned mset = mlcSetOf(line);
+        if (int mw = mlcFindWay(c, mset, line); mw >= 0) {
+            const WorkloadId ml_owner =
+                mlc_owner[mlcIdx(c, mset, unsigned(mw))];
+            unsigned nw = llcAlloc(now, set, line, inclusive_mask,
+                                   ml_owner, kValid,
+                                   EvictCause::Capacity);
+            const std::size_t li = llcIdx(set, nw);
+            llc_tags[li] |= std::uint64_t(kInMlc) << kFlagShift;
+            llc_mlc_core[li] = c;
+            gstats.egress_inclusive_alloc.inc();
+            return true;
+        }
+    }
+
+    wl(owner).mem_read_lines.inc();
+    dram.readLine(now);
+    return false;
+}
+
+// --- introspection ----------------------------------------------------------------
+
+CacheSystem::Probe
+CacheSystem::probeLlc(Addr addr) const
+{
+    const Addr line = lineOf(addr);
+    const unsigned set = llcSetOf(line);
+    Probe p;
+    if (int lw = llcFindWay(set, line); lw >= 0) {
+        const std::size_t li = llcIdx(set, unsigned(lw));
+        const std::uint8_t fl = flagsOf(llc_tags[li]);
+        p.in_llc = true;
+        p.way = unsigned(lw);
+        p.dirty = fl & kDirty;
+        p.io = fl & kIo;
+        p.consumed = fl & kConsumed;
+        p.in_mlc_flag = fl & kInMlc;
+        p.owner = llc_owner[li];
+    }
+    return p;
+}
+
+bool
+CacheSystem::inMlc(CoreId core, Addr addr) const
+{
+    const Addr line = lineOf(addr);
+    return mlcFindWay(core, mlcSetOf(line), line) >= 0;
+}
+
+std::size_t
+CacheSystem::auditInvariants() const
+{
+    std::size_t violations = 0;
+    for (unsigned s = 0; s < geom.llc_sets; ++s) {
+        const std::size_t base = llcIdx(s, 0);
+        for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+            const std::uint64_t e = llc_tags[base + w2];
+            if (!(e & kValidEntryBit))
+                continue;
+            // (a) tag unique within the set.
+            for (unsigned v = w2 + 1; v < geom.llc_ways; ++v) {
+                if ((llc_tags[base + v] & kValidEntryBit) &&
+                    lineOfEntry(llc_tags[base + v]) == lineOfEntry(e))
+                    ++violations;
+            }
+            if (flagsOf(e) & kInMlc) {
+                // (b) inclusive lines only in inclusive ways.
+                if (w2 < geom.firstInclusiveWay())
+                    ++violations;
+                // (c) the registered MLC copy exists.
+                CoreId c = llc_mlc_core[base + w2];
+                if (c >= geom.num_cores ||
+                    mlcFindWay(c, mlcSetOf(lineOfEntry(e)),
+                               lineOfEntry(e)) < 0)
+                    ++violations;
+            }
+        }
+    }
+    return violations;
+}
+
+std::vector<std::uint64_t>
+CacheSystem::llcWayOccupancy() const
+{
+    std::vector<std::uint64_t> occ(geom.llc_ways, 0);
+    for (unsigned s = 0; s < geom.llc_sets; ++s) {
+        for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+            if (llc_tags[llcIdx(s, w2)] & kValidEntryBit)
+                ++occ[w2];
+        }
+    }
+    return occ;
+}
+
+std::vector<std::uint64_t>
+CacheSystem::llcWayOccupancyOf(WorkloadId id) const
+{
+    std::vector<std::uint64_t> occ(geom.llc_ways, 0);
+    for (unsigned s = 0; s < geom.llc_sets; ++s) {
+        for (unsigned w2 = 0; w2 < geom.llc_ways; ++w2) {
+            const std::size_t i = llcIdx(s, w2);
+            if ((llc_tags[i] & kValidEntryBit) && llc_owner[i] == id)
+                ++occ[w2];
+        }
+    }
+    return occ;
+}
+
+} // namespace a4

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The modeled cache hierarchy: private MLCs + sliced non-inclusive LLC
+ * with an inclusive directory, DCA ways, and CAT-mask-aware placement.
+ *
+ * This is the substrate on which every contention in the paper
+ * emerges. The load-bearing placement rules (numbered as in DESIGN.md
+ * §3) are:
+ *
+ *  1. Non-inclusive fill: core misses fill the MLC only.
+ *  2. Victim cache: MLC evictions allocate into the LLC inside the
+ *     evicting core's CLOS mask.
+ *  3. LLC-inclusive lines (present in LLC *and* an MLC) may live only
+ *     in the inclusive ways, which are coupled one-to-one with the two
+ *     directory ways shared between the traditional and extended
+ *     directory groups (Yan et al. [65]).
+ *  4. Directory migration (C1): a core read of a DMA-written
+ *     LLC-exclusive line transitions it to shared LLC-inclusive
+ *     (Wang et al. [60]) and therefore *migrates* it into an inclusive
+ *     way, evicting the resident line — regardless of any CLOS mask.
+ *     Non-I/O LLC hits instead move the line to the MLC and drop the
+ *     LLC copy (plain victim-cache behaviour).
+ *  5. DCA write-allocate/write-update: allocating DMA writes update a
+ *     cached line in place wherever it is, else allocate into the DCA
+ *     ways only.
+ *  6. DMA leak: an I/O line evicted from the LLC before any core
+ *     consumed it is counted against the owning workload.
+ *  7. DMA bloat: consumed I/O lines evicted from an MLC re-enter the
+ *     LLC through rule 2.
+ *  8. Non-allocating DMA writes (DDIO disabled for the port) go to
+ *     memory and invalidate stale cached copies.
+ *  9. Egress DMA reads are served from the LLC when present; a copy of
+ *     MLC-only data is read-allocated into the inclusive ways; misses
+ *     read memory without allocating.
+ * 10. CAT masks constrain only new allocations.
+ *
+ * Implementation note: tag+flags are packed into a single 64-bit word
+ * per way ([6 flag bits][58 address bits]) so a set lookup touches one
+ * or two host cache lines; LRU stamps and ownership live in parallel
+ * cold arrays. This keeps the simulator fast enough to run the paper's
+ * full evaluation sweeps.
+ */
+
+#ifndef A4_CACHE_HIERARCHY_HH
+#define A4_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/counters.hh"
+#include "cache/geometry.hh"
+#include "mem/dram.hh"
+#include "rdt/cat.hh"
+#include "sim/types.hh"
+
+namespace a4
+{
+
+/** Result level of a core access (for tests and latency breakdowns). */
+enum class HitLevel { MlcHit, LlcHit, Memory };
+
+/** Outcome of a core access: where it hit and what it cost. */
+struct AccessResult
+{
+    HitLevel level;
+    double latency_ns;
+};
+
+/** Cache hierarchy model (all cores' MLCs + the shared LLC). */
+class CacheSystem
+{
+  public:
+    CacheSystem(const CacheGeometry &geom, const CacheLatencies &lat,
+                Dram &dram, CatController &cat);
+
+    /** @name Core-side accesses (attributed to @p wl). @{ */
+    AccessResult coreRead(Tick now, CoreId core, Addr addr, WorkloadId wl);
+    AccessResult coreWrite(Tick now, CoreId core, Addr addr, WorkloadId wl);
+    /** @} */
+
+    /**
+     * Device-to-host DMA write of one line.
+     *
+     * @param owner workload owning the target buffer (attribution).
+     * @param consumers cores whose MLCs may hold stale copies (the
+     *        buffer's consumer threads); stands in for the extended
+     *        directory's snoop filtering.
+     * @param allocating DDIO allocating flow (true) vs non-allocating.
+     */
+    void dmaWriteLine(Tick now, Addr addr, WorkloadId owner,
+                      std::span<const CoreId> consumers, bool allocating);
+
+    /**
+     * Host-to-device DMA read of one line (egress).
+     * @return true if served from the cache hierarchy.
+     */
+    bool dmaReadLine(Tick now, Addr addr, WorkloadId owner,
+                     std::span<const CoreId> cores);
+
+    /** @name Introspection (tests, analysis, occupancy census). @{ */
+    struct Probe
+    {
+        bool in_llc = false;
+        unsigned way = 0;
+        bool dirty = false;
+        bool io = false;
+        bool consumed = false;
+        bool in_mlc_flag = false;
+        WorkloadId owner = kNoWorkload;
+    };
+
+    Probe probeLlc(Addr addr) const;
+    bool inMlc(CoreId core, Addr addr) const;
+
+    /**
+     * Audit structural invariants; returns the number of violations
+     * (0 when healthy). Checked: (a) no duplicate tags within a set,
+     * (b) LLC-inclusive lines reside only in inclusive ways, (c) every
+     * kInMlc line's registered MLC copy actually exists.
+     */
+    std::size_t auditInvariants() const;
+
+    /** Valid-line count per LLC way (whole cache). */
+    std::vector<std::uint64_t> llcWayOccupancy() const;
+    /** Valid-line count per LLC way owned by @p wl. */
+    std::vector<std::uint64_t> llcWayOccupancyOf(WorkloadId wl) const;
+    /** @} */
+
+    /** Per-workload counter bank (auto-grows). */
+    WorkloadCounters &wl(WorkloadId id);
+    const WorkloadCounters &wlConst(WorkloadId id) const;
+
+    GlobalCacheCounters &global() { return gstats; }
+    const GlobalCacheCounters &global() const { return gstats; }
+
+    const CacheGeometry &geometry() const { return geom; }
+    const CacheLatencies &latencies() const { return lat; }
+
+  private:
+    enum Flags : std::uint8_t
+    {
+        kValid = 1,
+        kDirty = 2,
+        kIo = 4,       ///< holds DMA-written I/O data
+        kConsumed = 8, ///< a core has read it since the last DMA write
+        kInMlc = 16,   ///< LLC-inclusive: also present in an MLC
+    };
+
+    /** Why a line is being evicted from the LLC (stats attribution). */
+    enum class EvictCause { Capacity, Migration, DmaAlloc };
+
+    // --- packed tag entries ---------------------------------------------
+    static constexpr unsigned kFlagShift = 58;
+    static constexpr std::uint64_t kAddrMask =
+        (std::uint64_t(1) << kFlagShift) - 1;
+    static constexpr std::uint64_t kValidEntryBit =
+        std::uint64_t(kValid) << kFlagShift;
+    static constexpr std::uint64_t kMatchMask =
+        kAddrMask | kValidEntryBit;
+
+    static std::uint64_t
+    pack(Addr line, std::uint8_t flags)
+    {
+        return (line & kAddrMask) |
+               (std::uint64_t(flags) << kFlagShift);
+    }
+
+    static std::uint8_t flagsOf(std::uint64_t e)
+    {
+        return static_cast<std::uint8_t>(e >> kFlagShift);
+    }
+
+    static Addr lineOfEntry(std::uint64_t e) { return e & kAddrMask; }
+
+    // --- indexing ---------------------------------------------------------
+    static std::uint64_t mix(std::uint64_t x);
+    unsigned llcSetOf(Addr line) const;
+    unsigned mlcSetOf(Addr line) const;
+
+    /** Way index of @p line in LLC set @p set, or -1. */
+    int llcFindWay(unsigned set, Addr line) const;
+    /** Way index of @p line in core's MLC set, or -1. */
+    int mlcFindWay(CoreId core, unsigned set, Addr line) const;
+
+    std::size_t llcIdx(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * geom.llc_ways + way;
+    }
+
+    std::size_t mlcIdx(CoreId core, unsigned set, unsigned way) const
+    {
+        return (std::size_t(core) * geom.mlc_sets + set) *
+                   geom.mlc_ways + way;
+    }
+
+    // --- internal operations ----------------------------------------------
+    AccessResult coreAccess(Tick now, CoreId core, Addr addr,
+                            WorkloadId wl_id, bool is_write);
+    void mlcInsert(Tick now, CoreId core, Addr line, WorkloadId owner,
+                   bool dirty, bool io);
+    void mlcEvictEntry(Tick now, CoreId core, std::uint64_t entry,
+                       WorkloadId owner);
+    void invalidateMlc(CoreId core, Addr line);
+
+    /**
+     * Allocate @p line into the LLC choosing a victim inside @p mask.
+     * @return way index used.
+     */
+    unsigned llcAlloc(Tick now, unsigned set, Addr line, WayMask mask,
+                      WorkloadId owner, std::uint8_t flags,
+                      EvictCause cause);
+    void llcEvictSlot(Tick now, unsigned set, unsigned way,
+                      EvictCause cause);
+    void touchLlc(unsigned set, unsigned way);
+    void stampInsertLlc(unsigned set, unsigned way);
+
+    CacheGeometry geom;
+    CacheLatencies lat;
+    Dram &dram;
+    CatController &cat;
+
+    WayMask dca_mask;
+    WayMask inclusive_mask;
+
+    // LLC state: hot packed tags, cold metadata.
+    std::vector<std::uint64_t> llc_tags;
+    std::vector<std::uint32_t> llc_lru;
+    std::vector<std::uint16_t> llc_owner;
+    std::vector<std::uint16_t> llc_mlc_core;
+    std::vector<std::uint32_t> llc_tick;
+
+    // MLC state, flattened across cores.
+    std::vector<std::uint64_t> mlc_tags;
+    std::vector<std::uint32_t> mlc_lru;
+    std::vector<std::uint16_t> mlc_owner;
+    std::vector<std::uint32_t> mlc_tick;
+
+    mutable std::vector<WorkloadCounters> wl_stats;
+    GlobalCacheCounters gstats;
+};
+
+} // namespace a4
+
+#endif // A4_CACHE_HIERARCHY_HH

@@ -1,0 +1,107 @@
+#include "core/baseline.hh"
+
+#include <numeric>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+void
+IsolateManager::start()
+{
+    cat.resetAll();
+    const unsigned n_ways = cat.numWays();
+
+    // CLOS 0 stays the full-mask default for unmanaged cores; managed
+    // workloads get CLOS 1..N.
+    unsigned next_clos = 1;
+
+    std::vector<bool> way_used(n_ways, false);
+
+    // Pinned workloads first.
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+        if (next_clos >= cat.numClos())
+            fatal("IsolateManager: out of CLOS");
+        if (pins[i].hi >= n_ways)
+            fatal("IsolateManager: pinned range beyond way count");
+        cat.setClosMask(next_clos,
+                        CatController::makeMask(pins[i].lo, pins[i].hi));
+        for (CoreId c : wls[i].cores)
+            cat.assignCore(c, next_clos);
+        for (unsigned w = pins[i].lo; w <= pins[i].hi; ++w)
+            way_used[w] = true;
+        ++next_clos;
+    }
+
+    // Remaining workloads split the remaining ways proportionally.
+    std::vector<const WorkloadDesc *> rest;
+    for (std::size_t i = pins.size(); i < wls.size(); ++i)
+        rest.push_back(&wls[i]);
+    if (rest.empty())
+        return;
+
+    unsigned free_lo = 0;
+    while (free_lo < n_ways && way_used[free_lo])
+        ++free_lo;
+    unsigned free_hi = n_ways;
+    while (free_hi > free_lo && way_used[free_hi - 1])
+        --free_hi;
+    unsigned free_ways = free_hi - free_lo;
+    if (free_ways == 0)
+        fatal("IsolateManager: no ways left for auto-partitioning");
+
+    // More workloads than ways: the static model cannot give every
+    // workload a private way (the very limitation §5.2 calls out), so
+    // single-way partitions are shared round-robin.
+    if (free_ways < rest.size()) {
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+            unsigned way = free_lo + static_cast<unsigned>(i) %
+                                         free_ways;
+            unsigned clos = next_clos + static_cast<unsigned>(i) %
+                                            free_ways;
+            if (clos >= cat.numClos())
+                fatal("IsolateManager: out of CLOS");
+            cat.setClosMask(clos, CatController::makeMask(way, way));
+            for (CoreId c : rest[i]->cores)
+                cat.assignCore(c, clos);
+        }
+        return;
+    }
+
+    unsigned total_cores = 0;
+    for (const auto *w : rest)
+        total_cores += static_cast<unsigned>(w->cores.size());
+
+    // Largest-remainder apportionment with a 1-way floor.
+    std::vector<unsigned> grant(rest.size(), 1);
+    unsigned granted = static_cast<unsigned>(rest.size());
+    for (std::size_t i = 0; i < rest.size() && granted < free_ways;
+         ++i) {
+        unsigned extra = static_cast<unsigned>(
+            double(free_ways) * rest[i]->cores.size() / total_cores);
+        extra = extra > 1 ? extra - 1 : 0;
+        extra = std::min(extra, free_ways - granted);
+        grant[i] += extra;
+        granted += extra;
+    }
+    // Hand out any remainder left by rounding.
+    for (std::size_t i = 0; granted < free_ways; ++i) {
+        ++grant[i % rest.size()];
+        ++granted;
+    }
+
+    unsigned lo = free_lo;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (next_clos >= cat.numClos())
+            fatal("IsolateManager: out of CLOS");
+        unsigned hi = lo + grant[i] - 1;
+        cat.setClosMask(next_clos, CatController::makeMask(lo, hi));
+        for (CoreId c : rest[i]->cores)
+            cat.assignCore(c, next_clos);
+        lo = hi + 1;
+        ++next_clos;
+    }
+}
+
+} // namespace a4

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Baseline LLC-management schemes the paper compares against (§6):
+ *
+ *  - Default: all workloads share the whole LLC; no CAT programming;
+ *    DDIO on for every device.
+ *  - Isolate: static workload-wise partitioning — each workload gets
+ *    a contiguous run of ways proportional to its core count (or an
+ *    explicit way range, as the microbenchmark experiments pin them).
+ */
+
+#ifndef A4_CORE_BASELINE_HH
+#define A4_CORE_BASELINE_HH
+
+#include <vector>
+
+#include "core/a4.hh"
+#include "rdt/cat.hh"
+
+namespace a4
+{
+
+/** Default model: full sharing, no explicit CAT allocation. */
+class DefaultManager
+{
+  public:
+    explicit DefaultManager(CatController &cat) : cat(cat) {}
+
+    void addWorkload(const WorkloadDesc &) {}
+
+    /** Programs the full mask everywhere (idempotent). */
+    void
+    start()
+    {
+        cat.resetAll();
+    }
+
+  private:
+    CatController &cat;
+};
+
+/** Isolate model: static per-workload contiguous partitions. */
+class IsolateManager
+{
+  public:
+    explicit IsolateManager(CatController &cat) : cat(cat) {}
+
+    /** Register for automatic proportional partitioning. */
+    void
+    addWorkload(const WorkloadDesc &desc)
+    {
+        wls.push_back(desc);
+    }
+
+    /**
+     * Pin a workload to an explicit way range (the paper's
+     * microbenchmark setups, e.g. DPDK at way[2:3]).
+     */
+    void
+    pin(const WorkloadDesc &desc, unsigned lo_way, unsigned hi_way)
+    {
+        wls.push_back(desc);
+        pins.push_back({lo_way, hi_way});
+    }
+
+    /**
+     * Program the partitions: pinned ranges verbatim; remaining
+     * workloads split the remaining ways proportionally to their
+     * core counts (at least one way each).
+     */
+    void start();
+
+  private:
+    struct Pin
+    {
+        unsigned lo, hi;
+    };
+
+    CatController &cat;
+    std::vector<WorkloadDesc> wls;
+    std::vector<Pin> pins; ///< parallel to the pinned prefix of wls
+};
+
+} // namespace a4
+
+#endif // A4_CORE_BASELINE_HH

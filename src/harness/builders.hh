@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Convenience builders: construct the paper's standard workloads on a
+ * Testbed with scale-consistent parameters (one call per workload).
+ */
+
+#ifndef A4_HARNESS_BUILDERS_HH
+#define A4_HARNESS_BUILDERS_HH
+
+#include <memory>
+
+#include "harness/scaling.hh"
+#include "harness/testbed.hh"
+#include "workload/cpustream.hh"
+#include "workload/dpdk.hh"
+#include "workload/fastclick.hh"
+#include "workload/ffsb.hh"
+#include "workload/fio.hh"
+#include "workload/redis.hh"
+#include "workload/spec.hh"
+#include "workload/xmem.hh"
+
+namespace a4
+{
+
+/** DPDK-T/NT on a fresh 100 Gbps NIC (4 queues, 2048-entry rings). */
+inline DpdkWorkload &
+addDpdk(Testbed &bed, const std::string &name, bool touch,
+        NicConfig nic_cfg = NicConfig())
+{
+    Nic &nic = bed.addNic(nic_cfg);
+    auto w = std::make_unique<DpdkWorkload>(
+        name, bed.allocWorkloadId(),
+        bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
+        nic, scaledDpdkConfig(bed.config().scale, touch));
+    return bed.adopt(std::move(w));
+}
+
+/** Fastclick forwarding workload on a fresh NIC. */
+inline FastclickWorkload &
+addFastclick(Testbed &bed, const std::string &name,
+             NicConfig nic_cfg = NicConfig())
+{
+    Nic &nic = bed.addNic(nic_cfg);
+    // Fastclick's batched forwarding pipeline runs below the DPDK-T
+    // microbenchmark's edge-of-saturation point: contention degrades
+    // its latency (deep queueing at the knee) without pinning the
+    // rings at the overflow ceiling, matching the Fig. 13/14 regime.
+    DpdkConfig cfg = scaledDpdkConfig(bed.config().scale, true);
+    cfg.per_packet_cpu_ns = 290.0 * bed.config().scale;
+    cfg.payload_mlp = 6.0;
+    auto w = std::make_unique<FastclickWorkload>(
+        name, bed.allocWorkloadId(),
+        bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
+        nic, cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** FIO over a fresh SSD array; @p nominal_block in paper bytes. */
+inline FioWorkload &
+addFio(Testbed &bed, const std::string &name,
+       std::uint64_t nominal_block, SsdConfig ssd_cfg = SsdConfig())
+{
+    SsdArray &ssd = bed.addSsd(ssd_cfg, name + ".ssd");
+    FioConfig cfg = scaledFioConfig(nominal_block, bed.config().scale);
+    auto w = std::make_unique<FioWorkload>(
+        name, bed.allocWorkloadId(), bed.allocCores(cfg.num_jobs),
+        bed.engine(), bed.cache(), bed.addrs(), ssd, cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** FIO with an explicit (already scaled) configuration. */
+inline FioWorkload &
+addFioCustom(Testbed &bed, const std::string &name, FioConfig cfg,
+             SsdConfig ssd_cfg = SsdConfig())
+{
+    SsdArray &ssd = bed.addSsd(ssd_cfg, name + ".ssd");
+    auto w = std::make_unique<FioWorkload>(
+        name, bed.allocWorkloadId(), bed.allocCores(cfg.num_jobs),
+        bed.engine(), bed.cache(), bed.addrs(), ssd, cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** X-Mem instance (Table 3 variant) on @p n_cores cores. */
+inline CpuStreamWorkload &
+addXmem(Testbed &bed, const std::string &name, unsigned variant,
+        unsigned n_cores)
+{
+    CpuStreamConfig cfg =
+        scaledCpuStream(xmemConfig(variant), bed.config().scale);
+    auto w = std::make_unique<CpuStreamWorkload>(
+        name, bed.allocWorkloadId(), bed.allocCores(n_cores),
+        bed.engine(), bed.cache(), bed.addrs(), cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** SPEC CPU2017 proxy (1 core, per Table 2). */
+inline CpuStreamWorkload &
+addSpec(Testbed &bed, const std::string &bench)
+{
+    CpuStreamConfig cfg = scaledCpuStream(specConfig(bench), 1);
+    cfg.ws_bytes = scaleBytes(specProfile(bench).ws_bytes,
+                              bed.config().scale);
+    cfg.cpi_base = specProfile(bench).cpi_base * bed.config().scale;
+    auto w = std::make_unique<CpuStreamWorkload>(
+        bench, bed.allocWorkloadId(), bed.allocCores(1), bed.engine(),
+        bed.cache(), bed.addrs(), cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** Redis server + client pair (one core each). */
+inline std::pair<RedisServer &, RedisClient &>
+addRedis(Testbed &bed)
+{
+    RedisConfig cfg = scaledRedisConfig(bed.config().scale);
+    auto srv = std::make_unique<RedisServer>(
+        "redis-s", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), cfg);
+    RedisServer &srv_ref = bed.adopt(std::move(srv));
+    auto cli = std::make_unique<RedisClient>(
+        "redis-c", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), srv_ref, cfg);
+    RedisClient &cli_ref = bed.adopt(std::move(cli));
+    return {srv_ref, cli_ref};
+}
+
+/** Pin all of @p w's cores to CLOS @p clos with mask [lo:hi]. */
+inline void
+pinWays(Testbed &bed, const Workload &w, unsigned clos, unsigned lo,
+        unsigned hi)
+{
+    bed.cat().setClosMask(clos, CatController::makeMask(lo, hi));
+    for (CoreId c : w.cores())
+        bed.cat().assignCore(c, clos);
+}
+
+} // namespace a4
+
+#endif // A4_HARNESS_BUILDERS_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared warm-up/measure plumbing for the bench binaries.
+ *
+ * Every figure bench follows the same protocol as the paper's runs
+ * (70 s with 10 s warm-up / 10 s collection, compressed): start the
+ * workloads, run a warm-up window, snapshot all counters and reset
+ * the latency distributions, run the measurement window, then read
+ * the deltas.
+ */
+
+#ifndef A4_HARNESS_EXPERIMENT_HH
+#define A4_HARNESS_EXPERIMENT_HH
+
+#include <cstdlib>
+#include <vector>
+
+#include "harness/testbed.hh"
+#include "pcm/monitor.hh"
+#include "workload/workload.hh"
+
+namespace a4
+{
+
+/** Warm-up + measurement windows (simulated time). */
+struct Windows
+{
+    Tick warmup = 60 * kMsec;
+    Tick measure = 150 * kMsec;
+
+    /**
+     * Default windows, honouring the A4_BENCH_WINDOWS_MS environment
+     * variable ("<warmup>:<measure>", milliseconds) so the full-
+     * fidelity runs recorded in EXPERIMENTS.md can use longer ones.
+     */
+    static Windows
+    fromEnv()
+    {
+        Windows w;
+        if (const char *env = std::getenv("A4_BENCH_WINDOWS_MS")) {
+            unsigned long a = 0, b = 0;
+            if (std::sscanf(env, "%lu:%lu", &a, &b) == 2 && a && b) {
+                w.warmup = a * kMsec;
+                w.measure = b * kMsec;
+            }
+        }
+        return w;
+    }
+};
+
+/** One warm-up + measurement pass over a set of workloads. */
+class Measurement
+{
+  public:
+    Measurement(Testbed &bed, std::vector<Workload *> tracked,
+                Windows windows = Windows::fromEnv())
+        : bed(bed), tracked(std::move(tracked)), win(windows),
+          mon(bed.makeMonitor())
+    {}
+
+    /** Run warm-up, snapshot, run measurement. Call once. */
+    void
+    run()
+    {
+        for (Workload *w : tracked)
+            w->start();
+        bed.run(win.warmup);
+        for (Workload *w : tracked) {
+            mon.sampleWorkload(w->id());
+            w->resetWindow();
+            ops_prev[w->id()] = 0;
+            w->ops().delta(ops_prev[w->id()]);
+            bytes_prev[w->id()] = 0;
+            w->bytes().delta(bytes_prev[w->id()]);
+            instr_prev[w->id()] = 0;
+            w->instructions().delta(instr_prev[w->id()]);
+            cyc_prev[w->id()] = 0;
+            w->cycles().delta(cyc_prev[w->id()]);
+        }
+        mon.sampleSystem();
+        bed.run(win.measure);
+    }
+
+    /** Counter deltas for @p w over the measurement window. */
+    WorkloadSample
+    sample(const Workload &w)
+    {
+        return mon.sampleWorkload(w.id());
+    }
+
+    SystemSample
+    system()
+    {
+        return mon.sampleSystem();
+    }
+
+    /** Paper-equivalent processed-bytes throughput (bytes/s). */
+    double
+    throughputBps(Workload &w)
+    {
+        std::uint64_t b = w.bytes().delta(bytes_prev[w.id()]);
+        return double(b) * 1e9 / double(win.measure) *
+               bed.config().scale;
+    }
+
+    /** Operations per second over the window. */
+    double
+    opsPerSec(Workload &w)
+    {
+        std::uint64_t n = w.ops().delta(ops_prev[w.id()]);
+        return double(n) * 1e9 / double(win.measure);
+    }
+
+    /** IPC proxy over the window. */
+    double
+    ipc(Workload &w)
+    {
+        std::uint64_t i = w.instructions().delta(instr_prev[w.id()]);
+        std::uint64_t c = w.cycles().delta(cyc_prev[w.id()]);
+        return ratio(double(i), double(c));
+    }
+
+    const Windows &windows() const { return win; }
+
+  private:
+    Testbed &bed;
+    std::vector<Workload *> tracked;
+    Windows win;
+    PcmMonitor mon;
+    std::unordered_map<WorkloadId, std::uint64_t> ops_prev;
+    std::unordered_map<WorkloadId, std::uint64_t> bytes_prev;
+    std::unordered_map<WorkloadId, std::uint64_t> instr_prev;
+    std::unordered_map<WorkloadId, std::uint64_t> cyc_prev;
+};
+
+} // namespace a4
+
+#endif // A4_HARNESS_EXPERIMENT_HH

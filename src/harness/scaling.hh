@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Capacity/rate scaling helpers.
+ *
+ * A Testbed built at `scale` divides cache capacity, device
+ * bandwidths, and buffer sizes by the same factor, preserving every
+ * capacity ratio that the paper's contentions depend on (ring bytes
+ * vs DCA-way bytes, block size vs DCA capacity, working set vs
+ * allocated ways, device rate vs memory bandwidth).
+ *
+ * Two quantities intentionally do NOT scale: memory/cache *latencies*
+ * (they are the physics) and packet sizes (line-granular). To keep
+ * the *load* ratio (arrival rate x service time) at the paper's
+ * operating point, fixed per-unit CPU costs are multiplied by the
+ * scale — a scale-S machine processes 1/S the packets with S-times
+ * the per-packet compute, landing at the same utilisation.
+ *
+ * Benches label their axes with the paper's nominal values and
+ * convert measured throughputs back to paper-equivalent units via
+ * `unscaleBw`.
+ */
+
+#ifndef A4_HARNESS_SCALING_HH
+#define A4_HARNESS_SCALING_HH
+
+#include "workload/cpustream.hh"
+#include "workload/dpdk.hh"
+#include "workload/fio.hh"
+#include "workload/redis.hh"
+
+namespace a4
+{
+
+/** Scale a nominal (paper) byte quantity down to machine units. */
+inline std::uint64_t
+scaleBytes(std::uint64_t nominal, unsigned scale)
+{
+    std::uint64_t v = nominal / (scale ? scale : 1);
+    return v < kLineBytes ? kLineBytes : v;
+}
+
+/** Convert a measured bytes/s back to paper-equivalent bytes/s. */
+inline double
+unscaleBw(double measured_bps, unsigned scale)
+{
+    return measured_bps * scale;
+}
+
+/** DPDK config tuned to the paper's operating point at @p scale. */
+inline DpdkConfig
+scaledDpdkConfig(unsigned scale, bool touch = true)
+{
+    DpdkConfig cfg;
+    cfg.touch = touch;
+    // ~275 ns/packet of CPU work at full scale puts 4 cores at ~98 %
+    // utilisation under 100 Gbps of 1 KiB packets — the edge-of-
+    // saturation regime the paper's DPDK-T operates in (its DCA-on
+    // baseline latency is already ~100 us; Pktgen offers line rate to
+    // stress the server). Ring residency is then long enough that
+    // storage-driven DCA evictions hit unconsumed packets, which is
+    // what makes C2 visible, and any service-time inflation tips the
+    // rings into deep queueing.
+    cfg.per_packet_cpu_ns = 275.0 * scale;
+    cfg.payload_mlp = 2.0;
+    return cfg;
+}
+
+/** FIO config with block size given in paper-nominal bytes. */
+inline FioConfig
+scaledFioConfig(std::uint64_t nominal_block, unsigned scale)
+{
+    FioConfig cfg;
+    cfg.block_bytes = scaleBytes(nominal_block, scale);
+    // The paper's modified FIO regex-scans at roughly the device's
+    // delivery rate: aggregate consumption capacity sits right at the
+    // 12.8 GB/s link (slightly below it once reads leak to memory),
+    // so completion backlogs grow toward the full iodepth and DCA
+    // residence times blow past the eviction horizon — the DMA-leak
+    // regime of Fig. 5.
+    cfg.regex_ns_per_line = 19.0 * scale;
+    return cfg;
+}
+
+/** CpuStream config scaled: working set down, per-instr cost up. */
+inline CpuStreamConfig
+scaledCpuStream(CpuStreamConfig cfg, unsigned scale)
+{
+    cfg.ws_bytes = scaleBytes(cfg.ws_bytes, scale);
+    cfg.cpi_base *= scale;
+    return cfg;
+}
+
+/** Redis config scaled. */
+inline RedisConfig
+scaledRedisConfig(unsigned scale)
+{
+    RedisConfig cfg;
+    cfg.num_keys /= scale ? scale : 1;
+    if (cfg.num_keys == 0)
+        cfg.num_keys = 1024;
+    cfg.server_cpu_ns_per_op *= scale;
+    cfg.client_cpu_ns_per_op *= scale;
+    return cfg;
+}
+
+} // namespace a4
+
+#endif // A4_HARNESS_SCALING_HH

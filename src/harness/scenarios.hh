@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's evaluation scenarios (§7) as reusable harness pieces:
+ * the microbenchmark co-run (Fig. 11/12) and the real-world HPW-heavy
+ * / LPW-heavy mixes (Fig. 13/14/15), each runnable under every
+ * management scheme (Default, Isolate, A4-a..d).
+ */
+
+#ifndef A4_HARNESS_SCENARIOS_HH
+#define A4_HARNESS_SCENARIOS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/testbed.hh"
+
+namespace a4
+{
+
+/** LLC management scheme under evaluation. */
+enum class Scheme { Default, Isolate, A4a, A4b, A4c, A4d };
+
+const char *schemeName(Scheme s);
+
+/** True for the A4 variants. */
+inline bool
+isA4(Scheme s)
+{
+    return s == Scheme::A4a || s == Scheme::A4b || s == Scheme::A4c ||
+           s == Scheme::A4d;
+}
+
+/** Ablation letter for an A4 scheme. */
+char a4Letter(Scheme s);
+
+/** Per-workload outcome of a scenario run. */
+struct WorkloadResult
+{
+    std::string name;
+    bool hpw = false;        ///< original QoS
+    bool multithread_io = false; ///< perf = throughput, else IPC
+    double perf = 0.0;       ///< ops-throughput or IPC (absolute)
+    double llc_hit_rate = 0.0;
+    bool antagonist = false; ///< flagged by A4 during the run
+    double tail_latency_us = 0.0; ///< I/O workloads only
+};
+
+/** Scenario-wide outcome. */
+struct ScenarioResult
+{
+    std::vector<WorkloadResult> workloads;
+
+    // Fig. 14a: Fastclick latency breakdown (us).
+    double fc_nic_to_host_us = 0.0;
+    double fc_pointer_us = 0.0;
+    double fc_process_us = 0.0;
+
+    // Fig. 14b: FFSB-H latency breakdown (ms).
+    double ffsbh_read_ms = 0.0;
+    double ffsbh_regex_ms = 0.0;
+    double ffsbh_write_ms = 0.0;
+
+    // Fig. 14c: system-wide I/O throughput (paper-equivalent GB/s).
+    double fc_rd_gbps = 0.0;
+    double fc_wr_gbps = 0.0;
+    double ffsbh_rd_gbps = 0.0;
+    double ffsbh_wr_gbps = 0.0;
+
+    // Fig. 14d: memory bandwidth (paper-equivalent GB/s).
+    double mem_rd_gbps = 0.0;
+    double mem_wr_gbps = 0.0;
+
+    const WorkloadResult *find(const std::string &name) const;
+
+    /** Geometric-mean relative performance vs @p baseline. */
+    static double avgRelative(const ScenarioResult &r,
+                              const ScenarioResult &baseline,
+                              std::optional<bool> hpw_filter);
+};
+
+/** Knobs for a real-world scenario run. */
+struct ScenarioOptions
+{
+    /** Warm-up covers the A4 convergence transient (~40 monitoring
+     *  intervals at the compressed 5 ms period). */
+    Windows windows{250 * kMsec, 100 * kMsec};
+    /** Overrides thresholds/timing of the A4 variants (Fig. 15). */
+    std::optional<A4Params> a4_override;
+};
+
+/**
+ * Run the Table-2 real-world mix (HPW-heavy: 7 HPWs + 4 LPWs;
+ * LPW-heavy: 4 HPWs + 8 LPWs) under @p scheme.
+ */
+ScenarioResult runRealWorldScenario(bool hpw_heavy, Scheme scheme,
+                                    const ScenarioOptions &opt = {});
+
+/** Per-X-Mem outcome of the microbenchmark co-run (Fig. 11/12). */
+struct MicroResult
+{
+    double xmem_ipc[3] = {0, 0, 0};
+    double xmem_hit[3] = {0, 0, 0};
+    double net_tail_us = 0.0;
+    double net_rd_gbps = 0.0; ///< network ingress, paper-equivalent
+};
+
+/**
+ * Run the §7.1 microbenchmark co-run: DPDK-T (HPW) + FIO (LPW) +
+ * X-Mem 1 (HPW) / 2 (LPW) / 3 (LPW).
+ */
+MicroResult runMicroScenario(Scheme scheme, unsigned packet_bytes,
+                             std::uint64_t storage_block,
+                             const ScenarioOptions &opt = {});
+
+} // namespace a4
+
+#endif // A4_HARNESS_SCENARIOS_HH

@@ -1,0 +1,61 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal(sformat("Table: row has %zu cells, header has %zu",
+                      cells.size(), headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? "  " : "");
+            os << cells[c];
+            os << std::string(width[c] - cells[c].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+    os.flush();
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    return sformat("%.*f", digits, v);
+}
+
+std::string
+Table::pct(double v, int digits)
+{
+    return sformat("%.*f%%", digits, v * 100.0);
+}
+
+} // namespace a4

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer for bench output.
+ *
+ * Every bench binary prints the rows/series of its paper figure with
+ * this, so the output is uniform and diffable across runs.
+ */
+
+#ifndef A4_HARNESS_TABLE_HH
+#define A4_HARNESS_TABLE_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace a4
+{
+
+/** Column-aligned table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append a row (must have as many cells as the header). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to @p os (defaults to stdout). */
+    void print(std::ostream &os = std::cout) const;
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a ratio as a percentage string. */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace a4
+
+#endif // A4_HARNESS_TABLE_HH

@@ -1,0 +1,54 @@
+#include "iodev/ddio.hh"
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+DdioController::DdioController(unsigned num_ports, unsigned ways)
+    : regs(num_ports), dca_ways(ways)
+{
+    if (ways == 0)
+        fatal("DDIO: at least one DCA way is required");
+}
+
+PerfCtrlSts &
+DdioController::reg(PortId port)
+{
+    if (port >= regs.size())
+        fatal(sformat("DDIO: port %u out of range", port));
+    return regs[port];
+}
+
+const PerfCtrlSts &
+DdioController::reg(PortId port) const
+{
+    if (port >= regs.size())
+        fatal(sformat("DDIO: port %u out of range", port));
+    return regs[port];
+}
+
+bool
+DdioController::allocatingWrites(PortId port) const
+{
+    const PerfCtrlSts &r = reg(port);
+    return bios_dca && r.use_allocating_flow_wr && !r.no_snoop_op_wr_en;
+}
+
+void
+DdioController::disableDcaForPort(PortId port)
+{
+    PerfCtrlSts &r = reg(port);
+    r.no_snoop_op_wr_en = true;
+    r.use_allocating_flow_wr = false;
+}
+
+void
+DdioController::enableDcaForPort(PortId port)
+{
+    PerfCtrlSts &r = reg(port);
+    r.no_snoop_op_wr_en = false;
+    r.use_allocating_flow_wr = true;
+}
+
+} // namespace a4

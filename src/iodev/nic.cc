@@ -1,0 +1,110 @@
+#include "iodev/nic.hh"
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+Nic::Nic(Engine &eng_, DmaEngine &dma_, AddressMap &addrs, PortId port_,
+         const NicConfig &config)
+    : eng(eng_), dma(dma_), port(port_), cfg(config), rng(cfg.seed)
+{
+    if (cfg.num_queues == 0 || cfg.ring_entries == 0)
+        fatal("Nic: queues and ring entries must be non-zero");
+    if (cfg.packet_bytes < kLineBytes)
+        warn("Nic: packet smaller than a cache line; rounded up on DMA");
+
+    queues.resize(cfg.num_queues);
+    // Slot buffers are laid out per queue, mbuf-style: fixed-size
+    // buffers recycled in ring order.
+    const std::uint64_t slot_bytes =
+        linesIn(cfg.packet_bytes) * kLineBytes;
+    for (unsigned q = 0; q < cfg.num_queues; ++q) {
+        Addr base = addrs.alloc(std::uint64_t(cfg.ring_entries) *
+                                    slot_bytes,
+                                sformat("nic%u.rxring%u", port, q));
+        queues[q].slots.resize(cfg.ring_entries);
+        for (unsigned s = 0; s < cfg.ring_entries; ++s)
+            queues[q].slots[s] = base + std::uint64_t(s) * slot_bytes;
+    }
+}
+
+void
+Nic::attachConsumer(unsigned q, WorkloadId wl, CoreId core)
+{
+    if (q >= queues.size())
+        fatal(sformat("Nic: queue %u out of range", q));
+    queues[q].owner = wl;
+    queues[q].consumer = core;
+}
+
+void
+Nic::start()
+{
+    if (running)
+        return;
+    running = true;
+    for (unsigned q = 0; q < cfg.num_queues; ++q)
+        scheduleArrival(q);
+}
+
+Tick
+Nic::interarrival()
+{
+    // Per-queue mean gap: aggregate offered load split across queues.
+    double pkts_per_sec =
+        cfg.offered_gbps * 1e9 / 8.0 / cfg.packet_bytes;
+    double mean_ns = 1e9 / (pkts_per_sec / cfg.num_queues);
+    if (cfg.poisson)
+        return static_cast<Tick>(rng.exponential(mean_ns)) + 1;
+    return static_cast<Tick>(mean_ns) + 1;
+}
+
+void
+Nic::scheduleArrival(unsigned q)
+{
+    eng.schedule(interarrival(), [this, q] { arrive(q); });
+}
+
+void
+Nic::arrive(unsigned q)
+{
+    if (!running)
+        return;
+    Queue &queue = queues[q];
+    if (queue.pending.size() >= cfg.ring_entries) {
+        // No free descriptor: the NIC drops on the wire.
+        dropped_pkts.inc();
+    } else {
+        Addr buf = queue.slots[queue.next_slot];
+        queue.next_slot = (queue.next_slot + 1) % cfg.ring_entries;
+        const CoreId consumer[1] = {queue.consumer};
+        dma.write(eng.now(), port, buf, cfg.packet_bytes, queue.owner,
+                  consumer);
+        queue.pending.push_back(
+            RxPacket{eng.now(), buf, cfg.packet_bytes});
+        delivered_pkts.inc();
+    }
+    scheduleArrival(q);
+}
+
+bool
+Nic::pop(unsigned q, RxPacket &out)
+{
+    Queue &queue = queues[q];
+    if (queue.pending.empty())
+        return false;
+    out = queue.pending.front();
+    queue.pending.pop_front();
+    return true;
+}
+
+void
+Nic::tx(Addr addr, unsigned bytes, unsigned q)
+{
+    const CoreId cores[1] = {queues[q].consumer};
+    dma.read(eng.now(), port, addr, bytes, queues[q].owner, cores);
+    tx_pkts.inc();
+}
+
+} // namespace a4

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Network interface model: per-queue Rx rings fed by a packet
+ * generator (the client machine running DPDK Pktgen in the paper).
+ *
+ * Each Rx queue owns a ring of fixed-size packet buffers in host
+ * memory. An arrival DMA-writes the packet into the next ring slot
+ * (through the DMA engine, so DDIO/DCA semantics apply) and enqueues
+ * a descriptor for the consumer. If the ring is full the packet is
+ * dropped — exactly the overload behaviour that turns DMA-leak
+ * slowdowns into latency/throughput loss.
+ */
+
+#ifndef A4_IODEV_NIC_HH
+#define A4_IODEV_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "iodev/dma.hh"
+#include "sim/addrmap.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace a4
+{
+
+/** NIC configuration (defaults: paper's ConnectX-6 setup). */
+struct NicConfig
+{
+    unsigned num_queues = 4;     ///< one per consumer core
+    unsigned ring_entries = 2048;
+    unsigned packet_bytes = 1024;
+    double offered_gbps = 100.0; ///< aggregate offered load
+    bool poisson = true;         ///< exponential vs deterministic gaps
+    Tick wire_latency = 2 * kUsec; ///< NIC-to-host fixed latency
+    std::uint64_t seed = 42;
+};
+
+/** Rx-side NIC with DMA into ring buffers. */
+class Nic
+{
+  public:
+    /** A received packet awaiting consumption. */
+    struct RxPacket
+    {
+        Tick arrival;  ///< DMA completion time
+        Addr buf;      ///< first byte of the packet buffer
+        unsigned bytes;
+    };
+
+    Nic(Engine &eng, DmaEngine &dma, AddressMap &addrs, PortId port,
+        const NicConfig &cfg);
+
+    /**
+     * Attach the consumer of queue @p q: the owning workload (buffer
+     * attribution) and the core whose MLC may cache ring lines.
+     */
+    void attachConsumer(unsigned q, WorkloadId wl, CoreId core);
+
+    /** Begin generating traffic. */
+    void start();
+
+    /** Stop generating traffic (in-flight ring contents remain). */
+    void stop() { running = false; }
+
+    /** Pop the oldest pending packet of queue @p q. */
+    bool pop(unsigned q, RxPacket &out);
+
+    /** Pending packets in queue @p q (ring occupancy). */
+    std::size_t pending(unsigned q) const { return queues[q].pending.size(); }
+
+    /**
+     * Transmit (egress): device DMA-reads @p bytes at @p addr on
+     * behalf of queue @p q's consumer.
+     */
+    void tx(Addr addr, unsigned bytes, unsigned q);
+
+    /** @name Counters. @{ */
+    const SnapshotCounter &delivered() const { return delivered_pkts; }
+    const SnapshotCounter &dropped() const { return dropped_pkts; }
+    const SnapshotCounter &txPackets() const { return tx_pkts; }
+    /** @} */
+
+    const NicConfig &config() const { return cfg; }
+    PortId portId() const { return port; }
+
+  private:
+    struct Queue
+    {
+        std::vector<Addr> slots;
+        std::deque<RxPacket> pending;
+        unsigned next_slot = 0;
+        WorkloadId owner = kNoWorkload;
+        CoreId consumer = 0;
+    };
+
+    void scheduleArrival(unsigned q);
+    void arrive(unsigned q);
+    Tick interarrival();
+
+    Engine &eng;
+    DmaEngine &dma;
+    PortId port;
+    NicConfig cfg;
+    Rng rng;
+    std::vector<Queue> queues;
+    bool running = false;
+
+    SnapshotCounter delivered_pkts;
+    SnapshotCounter dropped_pkts;
+    SnapshotCounter tx_pkts;
+};
+
+} // namespace a4
+
+#endif // A4_IODEV_NIC_HH

@@ -1,0 +1,84 @@
+#include "iodev/nvme.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+SsdArray::SsdArray(Engine &eng_, DmaEngine &dma_, PortId port_,
+                   const SsdConfig &config)
+    : eng(eng_), dma(dma_), port(port_), cfg(config)
+{
+    if (cfg.link_bw_bps <= 0.0)
+        fatal("SsdArray: link bandwidth must be positive");
+    if (cfg.parallelism == 0)
+        fatal("SsdArray: parallelism must be >= 1");
+}
+
+void
+SsdArray::submitRead(Addr buf, std::uint64_t bytes, WorkloadId owner,
+                     std::vector<CoreId> consumers, Completion done)
+{
+    queue.push_back(Command{true, buf, bytes, owner, std::move(consumers),
+                            std::move(done)});
+    tryStart();
+}
+
+void
+SsdArray::submitWrite(Addr buf, std::uint64_t bytes, WorkloadId owner,
+                      std::vector<CoreId> cores, Completion done)
+{
+    queue.push_back(Command{false, buf, bytes, owner, std::move(cores),
+                            std::move(done)});
+    tryStart();
+}
+
+void
+SsdArray::tryStart()
+{
+    while (active < cfg.parallelism && !queue.empty()) {
+        Command cmd = std::move(queue.front());
+        queue.pop_front();
+        startCommand(std::move(cmd));
+    }
+}
+
+void
+SsdArray::startCommand(Command cmd)
+{
+    ++active;
+    // Flash access overlaps across channels; the host link transfer is
+    // serialized and caps aggregate throughput.
+    Tick flash_done = eng.now() + cfg.cmd_overhead;
+    double transfer_ns =
+        static_cast<double>(cmd.bytes) / cfg.link_bw_bps * 1e9;
+    Tick link_start = std::max(flash_done, link_free_at);
+    link_free_at = link_start + static_cast<Tick>(transfer_ns) + 1;
+    Tick completion = link_free_at;
+
+    eng.scheduleAt(completion, [this, c = std::move(cmd)]() mutable {
+        complete(c);
+    });
+}
+
+void
+SsdArray::complete(Command &cmd)
+{
+    --active;
+    if (cmd.is_read) {
+        dma.write(eng.now(), port, cmd.buf, cmd.bytes, cmd.owner,
+                  cmd.cores);
+        reads_done.inc();
+    } else {
+        dma.read(eng.now(), port, cmd.buf, cmd.bytes, cmd.owner,
+                 cmd.cores);
+        writes_done.inc();
+    }
+    if (cmd.done)
+        cmd.done();
+    tryStart();
+}
+
+} // namespace a4

@@ -1,0 +1,50 @@
+#include "pcm/monitor.hh"
+
+namespace a4
+{
+
+WorkloadSample
+PcmMonitor::sampleWorkload(WorkloadId id)
+{
+    const WorkloadCounters &c = cache.wlConst(id);
+    WlPrev &p = prev_wl[id];
+    WorkloadSample s;
+    s.mlc_hit = c.mlc_hit.delta(p.mlc_hit);
+    s.mlc_miss = c.mlc_miss.delta(p.mlc_miss);
+    s.llc_hit = c.llc_hit.delta(p.llc_hit);
+    s.llc_miss = c.llc_miss.delta(p.llc_miss);
+    s.dma_written = c.dma_lines_written.delta(p.dma_written);
+    s.dma_update = c.dma_write_update.delta(p.dma_update);
+    s.dma_alloc = c.dma_write_alloc.delta(p.dma_alloc);
+    s.dma_leaked = c.dma_leaked.delta(p.dma_leaked);
+    s.dma_nonalloc = c.dma_nonalloc.delta(p.dma_nonalloc);
+    s.mem_rd_lines = c.mem_read_lines.delta(p.mem_rd);
+    s.mem_wr_lines = c.mem_write_lines.delta(p.mem_wr);
+    s.bloat_inserts = c.bloat_inserts.delta(p.bloat);
+    s.migrated = c.migrated_inclusive.delta(p.migrated);
+    return s;
+}
+
+SystemSample
+PcmMonitor::sampleSystem()
+{
+    SystemSample s;
+    s.interval_ns = eng.now() - prev_time;
+    prev_time = eng.now();
+    s.mem_rd_bytes = dram.readBytes().delta(prev_rd);
+    s.mem_wr_bytes = dram.writeBytes().delta(prev_wr);
+
+    prev_ports.resize(pcie.numPorts());
+    s.ports.resize(pcie.numPorts());
+    for (PortId p = 0; p < pcie.numPorts(); ++p) {
+        PciePort &port = pcie.port(p);
+        s.ports[p].dev_class = port.dev_class;
+        s.ports[p].ingress_bytes =
+            port.ingress_bytes.delta(prev_ports[p].ingress);
+        s.ports[p].egress_bytes =
+            port.egress_bytes.delta(prev_ports[p].egress);
+    }
+    return s;
+}
+
+} // namespace a4

@@ -1,0 +1,115 @@
+#include "rdt/cat.hh"
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+CatController::CatController(unsigned num_ways, unsigned num_cores,
+                             unsigned num_clos)
+    : n_ways(num_ways)
+{
+    if (num_ways == 0 || num_ways > 31)
+        fatal(sformat("CAT: unsupported way count %u", num_ways));
+    if (num_clos == 0)
+        fatal("CAT: need at least one CLOS");
+    masks.assign(num_clos, fullMask(num_ways));
+    core_clos.assign(num_cores, 0);
+}
+
+void
+CatController::checkClos(unsigned clos) const
+{
+    if (clos >= masks.size())
+        fatal(sformat("CAT: CLOS %u out of range (have %zu)", clos,
+                      masks.size()));
+}
+
+void
+CatController::setClosMask(unsigned clos, WayMask mask)
+{
+    checkClos(clos);
+    if (mask == 0)
+        fatal("CAT: empty capacity mask rejected");
+    if (mask & ~fullMask(n_ways))
+        fatal(sformat("CAT: mask 0x%x has bits beyond way %u", mask,
+                      n_ways - 1));
+    if (!isContiguous(mask))
+        fatal(sformat("CAT: non-contiguous mask 0x%x rejected", mask));
+    masks[clos] = mask;
+}
+
+WayMask
+CatController::closMask(unsigned clos) const
+{
+    checkClos(clos);
+    return masks[clos];
+}
+
+void
+CatController::assignCore(CoreId core, unsigned clos)
+{
+    checkClos(clos);
+    if (core >= core_clos.size())
+        fatal(sformat("CAT: core %u out of range", core));
+    core_clos[core] = clos;
+}
+
+unsigned
+CatController::closOfCore(CoreId core) const
+{
+    if (core >= core_clos.size())
+        fatal(sformat("CAT: core %u out of range", core));
+    return core_clos[core];
+}
+
+WayMask
+CatController::maskForCore(CoreId core) const
+{
+    return masks[closOfCore(core)];
+}
+
+void
+CatController::resetAll()
+{
+    for (auto &m : masks)
+        m = fullMask(n_ways);
+    for (auto &c : core_clos)
+        c = 0;
+}
+
+bool
+CatController::isContiguous(WayMask mask)
+{
+    if (mask == 0)
+        return false;
+    // Strip trailing zeros, then the run must be all-ones.
+    while (!(mask & 1))
+        mask >>= 1;
+    return (mask & (mask + 1)) == 0;
+}
+
+WayMask
+CatController::makeMask(unsigned lo_way, unsigned hi_way)
+{
+    if (lo_way > hi_way)
+        fatal(sformat("CAT: invalid way range [%u:%u]", lo_way, hi_way));
+    WayMask m = 0;
+    for (unsigned w = lo_way; w <= hi_way; ++w)
+        m |= (1u << w);
+    return m;
+}
+
+std::string
+CatController::paperHex(WayMask mask) const
+{
+    // Paper convention: way k maps to bit (numWays-1-k).
+    WayMask flipped = 0;
+    for (unsigned w = 0; w < n_ways; ++w) {
+        if (mask & (1u << w))
+            flipped |= (1u << (n_ways - 1 - w));
+    }
+    return sformat("0x%03X", flipped);
+}
+
+} // namespace a4

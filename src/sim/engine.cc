@@ -1,0 +1,37 @@
+#include "sim/engine.hh"
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+void
+Engine::schedule(Tick delay, Callback fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Engine::scheduleAt(Tick when, Callback fn)
+{
+    if (when < now_)
+        when = now_;
+    queue.push(Event{when, next_seq++, std::move(fn)});
+}
+
+void
+Engine::runUntil(Tick when)
+{
+    while (!queue.empty() && queue.top().when <= when) {
+        // Copy out before pop so the callback may schedule freely.
+        Event ev = queue.top();
+        queue.pop();
+        now_ = ev.when;
+        ++fired;
+        ev.fn();
+    }
+    if (now_ < when)
+        now_ = when;
+}
+
+} // namespace a4

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() flags an internal simulator bug (impossible state); fatal()
+ * flags a user/configuration error. Both throw so that unit tests can
+ * assert on misuse; top-level binaries let the exception terminate.
+ * warn()/inform() print to stderr and never stop the simulation.
+ */
+
+#ifndef A4_SIM_LOG_HH
+#define A4_SIM_LOG_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace a4
+{
+
+/** Exception raised by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Exception raised by fatal(): the configuration cannot be run. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** printf-style formatting into a std::string. */
+std::string sformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort the simulation. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unusable user configuration and abort the simulation. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a non-fatal suspicious-condition message to stderr. */
+void warn(const std::string &msg);
+
+/** Print a status message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by benches). */
+void setQuiet(bool quiet);
+
+} // namespace a4
+
+#endif // A4_SIM_LOG_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small xoshiro256** generator seeded via splitmix64. Every stochastic
+ * component of the simulator owns its own Rng instance so that runs are
+ * reproducible regardless of actor interleaving.
+ */
+
+#ifndef A4_SIM_RNG_HH
+#define A4_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace a4
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 expansion of the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u >= 1.0)
+            u = 0.999999999;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace a4
+
+#endif // A4_SIM_RNG_HH

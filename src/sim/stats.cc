@@ -1,0 +1,82 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+namespace a4
+{
+
+LatencyStat::LatencyStat()
+    : n(0), sum(0.0), lo(0.0), hi(0.0), rng(0xA4A4A4A4ull)
+{
+    reservoir.reserve(1024);
+}
+
+void
+LatencyStat::record(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    sum += v;
+
+    if (reservoir.size() < kReservoir) {
+        reservoir.push_back(v);
+    } else {
+        // Vitter's algorithm R: keep each sample with prob k/n.
+        std::uint64_t slot = rng.below(n);
+        if (slot < kReservoir)
+            reservoir[slot] = v;
+    }
+}
+
+void
+LatencyStat::merge(const LatencyStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    n += other.n;
+    sum += other.sum;
+    for (double v : other.reservoir) {
+        if (reservoir.size() < kReservoir)
+            reservoir.push_back(v);
+        else if (rng.chance(0.5))
+            reservoir[rng.below(reservoir.size())] = v;
+    }
+}
+
+void
+LatencyStat::reset()
+{
+    n = 0;
+    sum = 0.0;
+    lo = hi = 0.0;
+    reservoir.clear();
+}
+
+double
+LatencyStat::percentile(double p) const
+{
+    if (reservoir.empty())
+        return 0.0;
+    std::vector<double> sorted(reservoir);
+    std::sort(sorted.begin(), sorted.end());
+    double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    auto idx = static_cast<std::size_t>(rank);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    double frac = rank - static_cast<double>(idx);
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+} // namespace a4

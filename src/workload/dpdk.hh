@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DPDK-style kernel-bypass packet-processing workloads (§3.1).
+ *
+ * DPDK-T Touches every payload line of a received packet and drops it
+ * (deep-packet-inspection-like). DPDK-NT does Not Touch packets — it
+ * drops them from the ring without ever bringing I/O lines into its
+ * MLCs, which is precisely why it causes neither DMA bloat nor
+ * directory contention in Fig. 3a.
+ *
+ * One poll-mode actor per core/queue: drain up to a burst of packets,
+ * charging per-line access latency (overlapped by the payload MLP)
+ * plus fixed per-packet CPU work; packet latency = NIC wire latency +
+ * ring wait + service.
+ */
+
+#ifndef A4_WORKLOAD_DPDK_HH
+#define A4_WORKLOAD_DPDK_HH
+
+#include "cache/hierarchy.hh"
+#include "iodev/nic.hh"
+#include "sim/engine.hh"
+#include "workload/workload.hh"
+
+namespace a4
+{
+
+/** DPDK workload configuration. */
+struct DpdkConfig
+{
+    bool touch = true;          ///< DPDK-T (true) vs DPDK-NT (false)
+    unsigned burst = 32;        ///< rte_rx_burst size
+    double per_packet_cpu_ns = 120.0;
+    double payload_mlp = 8.0;   ///< prefetch overlap on payload reads
+    Tick idle_poll_ns = 500;    ///< re-poll gap when the ring is empty
+};
+
+/** Poll-mode packet processor over the NIC's Rx queues. */
+class DpdkWorkload : public Workload
+{
+  public:
+    /**
+     * @param cores one core per NIC queue (size must equal the NIC's
+     *        queue count).
+     */
+    DpdkWorkload(std::string name, WorkloadId id,
+                 std::vector<CoreId> cores, Engine &eng,
+                 CacheSystem &cache, Nic &nic, const DpdkConfig &cfg);
+
+    void start() override;
+
+    bool isIo() const override { return true; }
+    PortId ioPort() const override { return nic.portId(); }
+    DeviceClass ioClass() const override { return DeviceClass::Network; }
+
+    const DpdkConfig &config() const { return cfg; }
+    Nic &nicDevice() { return nic; }
+
+  protected:
+    /**
+     * Process one packet; returns its service time (ns). Subclasses
+     * (Fastclick) extend this with forwarding and breakdown capture.
+     */
+    virtual double processPacket(unsigned q, const Nic::RxPacket &pkt,
+                                 double wait_ns);
+
+    Engine &eng;
+    CacheSystem &cache;
+    Nic &nic;
+    DpdkConfig cfg;
+
+  private:
+    void poll(unsigned q);
+};
+
+} // namespace a4
+
+#endif // A4_WORKLOAD_DPDK_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FFSB (Flexible Filesystem Benchmark) configurations (Table 2).
+ *
+ * FFSB-H (heavy): 2 MiB I/O blocks on 3 cores — the storage
+ * antagonist A4 detects and DCA-disables in the real-world scenarios.
+ * FFSB-L (light): 32 KiB blocks on 1 core — storage I/O that stays
+ * below the DMA-leak thresholds, demonstrating that A4 disables DCA
+ * selectively (FFSB-H's port only).
+ *
+ * Both are FioWorkload configurations with a filesystem-like write
+ * mix; the distinct block sizes and intensities are what drive the
+ * detector, exactly as in the paper.
+ */
+
+#ifndef A4_WORKLOAD_FFSB_HH
+#define A4_WORKLOAD_FFSB_HH
+
+#include "workload/fio.hh"
+
+namespace a4
+{
+
+/** FIO configuration for FFSB-H (heavy storage I/O). */
+inline FioConfig
+ffsbHeavyConfig(unsigned scale = 1)
+{
+    FioConfig cfg;
+    cfg.num_jobs = 3;
+    cfg.iodepth = 16;
+    cfg.block_bytes = 2 * kMiB / (scale ? scale : 1);
+    cfg.write_mix = 0.25;
+    cfg.regex_ns_per_line = 8.0;
+    return cfg;
+}
+
+/** FIO configuration for FFSB-L (light storage I/O). */
+inline FioConfig
+ffsbLightConfig(unsigned scale = 1)
+{
+    FioConfig cfg;
+    cfg.num_jobs = 1;
+    cfg.iodepth = 4;
+    cfg.block_bytes = 32 * kKiB / (scale ? scale : 1);
+    if (cfg.block_bytes < kLineBytes)
+        cfg.block_bytes = kLineBytes;
+    cfg.write_mix = 0.25;
+    cfg.regex_ns_per_line = 12.0;
+    return cfg;
+}
+
+} // namespace a4
+
+#endif // A4_WORKLOAD_FFSB_HH

@@ -1,0 +1,148 @@
+#include "workload/fio.hh"
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+FioWorkload::FioWorkload(std::string name, WorkloadId id,
+                         std::vector<CoreId> cores_in, Engine &eng_,
+                         CacheSystem &cache_, AddressMap &addrs,
+                         SsdArray &ssd_, const FioConfig &config)
+    : Workload(std::move(name), id, std::move(cores_in)), eng(eng_),
+      cache(cache_), ssd(ssd_), cfg(config), rng(cfg.seed)
+{
+    if (cores().size() != cfg.num_jobs)
+        fatal("FioWorkload: core count must equal num_jobs");
+    if (cfg.block_bytes < kLineBytes)
+        fatal("FioWorkload: block below one line");
+
+    jobs.resize(cfg.num_jobs);
+    for (unsigned j = 0; j < cfg.num_jobs; ++j) {
+        jobs[j].core = cores()[j];
+        jobs[j].buffers.resize(cfg.iodepth);
+        for (unsigned b = 0; b < cfg.iodepth; ++b) {
+            jobs[j].buffers[b].base =
+                addrs.alloc(cfg.block_bytes,
+                            sformat("%s.j%u.buf%u",
+                                    this->name().c_str(), j, b));
+        }
+    }
+}
+
+void
+FioWorkload::start()
+{
+    if (active_)
+        return;
+    active_ = true;
+    for (unsigned j = 0; j < cfg.num_jobs; ++j) {
+        for (unsigned b = 0; b < cfg.iodepth; ++b)
+            submitRead(j, b);
+        schedulePump(j, cfg.idle_poll_ns);
+    }
+}
+
+void
+FioWorkload::submitRead(unsigned job, unsigned buf)
+{
+    if (!active_)
+        return;
+    Job &j = jobs[job];
+    j.buffers[buf].submit_time = eng.now();
+    ssd.submitRead(j.buffers[buf].base, cfg.block_bytes, id(),
+                   {j.core},
+                   [this, job, buf] { onReadComplete(job, buf); });
+}
+
+void
+FioWorkload::onReadComplete(unsigned job, unsigned buf)
+{
+    Job &j = jobs[job];
+    j.buffers[buf].dma_done = eng.now();
+    read_lat.record(static_cast<double>(eng.now() -
+                                        j.buffers[buf].submit_time));
+    if (cfg.consume) {
+        j.completed.push_back(buf);
+        if (!j.consuming)
+            schedulePump(job, 1);
+    } else {
+        finishBlock(job, buf);
+    }
+}
+
+void
+FioWorkload::schedulePump(unsigned job, Tick delay)
+{
+    // At most one pending pump event per job: completions arriving
+    // while idle must not spawn parallel consume chains.
+    Job &j = jobs[job];
+    if (j.pump_scheduled || j.consuming)
+        return;
+    j.pump_scheduled = true;
+    eng.schedule(delay, [this, job] {
+        jobs[job].pump_scheduled = false;
+        consumeNext(job);
+    });
+}
+
+void
+FioWorkload::consumeNext(unsigned job)
+{
+    if (!active_)
+        return;
+    Job &j = jobs[job];
+    if (j.consuming)
+        return; // a continuation chain is already live
+    if (j.completed.empty()) {
+        schedulePump(job, cfg.idle_poll_ns);
+        return;
+    }
+    j.consuming = true;
+    unsigned buf = j.completed.front();
+    j.completed.pop_front();
+
+    // Regex-scan every line of the block (brought through the MLC).
+    const Addr base = j.buffers[buf].base;
+    const std::uint64_t lines = linesIn(cfg.block_bytes);
+    double svc = 0.0;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        AccessResult r = cache.coreRead(eng.now(), j.core,
+                                        base + l * kLineBytes, id());
+        svc += r.latency_ns / cfg.mlp + cfg.regex_ns_per_line;
+    }
+    regex_lat.record(svc);
+    retire(lines * 6.0, svc, 2.3);
+
+    eng.schedule(static_cast<Tick>(svc) + 1, [this, job, buf] {
+        Job &jj = jobs[job];
+        ops_.inc();
+        bytes_.add(cfg.block_bytes);
+        lat_.record(static_cast<double>(
+            eng.now() - jj.buffers[buf].submit_time));
+        finishBlock(job, buf);
+        jj.consuming = false;
+        consumeNext(job);
+    });
+}
+
+void
+FioWorkload::finishBlock(unsigned job, unsigned buf)
+{
+    if (!active_)
+        return;
+    Job &j = jobs[job];
+    if (cfg.write_mix > 0.0 && rng.chance(cfg.write_mix)) {
+        Tick t0 = eng.now();
+        ssd.submitWrite(j.buffers[buf].base, cfg.block_bytes, id(),
+                        {j.core}, [this, job, buf, t0] {
+                            write_lat.record(
+                                static_cast<double>(eng.now() - t0));
+                            submitRead(job, buf);
+                        });
+    } else {
+        submitRead(job, buf);
+    }
+}
+
+} // namespace a4

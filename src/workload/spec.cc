@@ -1,0 +1,69 @@
+#include "workload/spec.hh"
+
+#include <array>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+namespace
+{
+
+using Pattern = CpuStreamConfig::Pattern;
+
+// Working sets / intensities follow the SPEC CPU2017 memory-centric
+// characterisation [50]: cache-insensitive beyond ~2 MiB (x264,
+// exchange2), steadily scaling (parest, xalancbmk), and streaming
+// far beyond any realistic LLC share (lbm, bwaves, fotonik3d).
+constexpr std::array<SpecProfile, 10> kProfiles = {{
+    {"x264",       2 * kMiB,          Pattern::RandRead, 12.0, 4.0, 0.45},
+    {"parest",     10 * kMiB,         Pattern::RandRead, 6.0,  2.0, 0.50},
+    {"xalancbmk",  8 * kMiB,          Pattern::RandRead, 6.0,  1.5, 0.55},
+    {"lbm",        48 * kMiB,         Pattern::SeqRW,    3.0,  8.0, 0.40},
+    {"bwaves",     40 * kMiB,         Pattern::SeqRead,  3.0,  8.0, 0.40},
+    {"fotonik3d",  36 * kMiB,         Pattern::SeqRead,  3.0,  6.0, 0.40},
+    {"mcf",        6 * kMiB,          Pattern::RandRead, 4.0,  1.5, 0.55},
+    {"omnetpp",    5 * kMiB,          Pattern::RandRead, 5.0,  1.5, 0.55},
+    {"exchange2",  512 * kKiB,        Pattern::RandRead, 20.0, 4.0, 0.45},
+    {"blender",    3 * kMiB,          Pattern::RandRead, 8.0,  3.0, 0.50},
+}};
+
+} // namespace
+
+const SpecProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : kProfiles) {
+        if (name == p.name)
+            return p;
+    }
+    fatal("specProfile: unknown benchmark '" + name + "'");
+}
+
+std::vector<std::string>
+specNames()
+{
+    std::vector<std::string> names;
+    names.reserve(kProfiles.size());
+    for (const auto &p : kProfiles)
+        names.emplace_back(p.name);
+    return names;
+}
+
+CpuStreamConfig
+specConfig(const std::string &name, unsigned scale)
+{
+    const SpecProfile &p = specProfile(name);
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = p.ws_bytes / (scale ? scale : 1);
+    if (cfg.ws_bytes < kLineBytes)
+        cfg.ws_bytes = kLineBytes;
+    cfg.pattern = p.pattern;
+    cfg.instr_per_access = p.instr_per_access;
+    cfg.mlp = p.mlp;
+    cfg.cpi_base = p.cpi_base;
+    return cfg;
+}
+
+} // namespace a4

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SPEC CPU2017 proxy profiles.
+ *
+ * Each benchmark the paper co-runs (Table 2 / Fig. 13) is modeled as
+ * a CpuStream configuration whose working-set size, locality, and
+ * compute intensity follow the memory-centric characterisation of
+ * the suite the paper cites (Singh & Awasthi [50]): x264 saturates at
+ * small cache sizes; parest/xalancbmk keep benefiting from capacity;
+ * lbm/bwaves/fotonik3d stream far beyond the LLC (the antagonists A4
+ * detects); exchange2 is compute-bound.
+ */
+
+#ifndef A4_WORKLOAD_SPEC_HH
+#define A4_WORKLOAD_SPEC_HH
+
+#include <string>
+
+#include "workload/cpustream.hh"
+
+namespace a4
+{
+
+/** Named SPEC proxy profile. */
+struct SpecProfile
+{
+    const char *name;
+    std::uint64_t ws_bytes;
+    CpuStreamConfig::Pattern pattern;
+    double instr_per_access;
+    double mlp;
+    double cpi_base;
+};
+
+/** Profile lookup; throws FatalError for unknown names. */
+const SpecProfile &specProfile(const std::string &name);
+
+/** All available profile names. */
+std::vector<std::string> specNames();
+
+/**
+ * Build the CpuStream configuration for @p name, scaling the working
+ * set by @p scale (to match a scaled cache geometry).
+ */
+CpuStreamConfig specConfig(const std::string &name, unsigned scale = 1);
+
+} // namespace a4
+
+#endif // A4_WORKLOAD_SPEC_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * X-Mem microbenchmark instances (Table 3 of the paper).
+ *
+ * | Instance | Working set | Pattern    | Operation |
+ * |----------|-------------|------------|-----------|
+ * | X-Mem 1  | 4 MiB       | Sequential | Read      |
+ * | X-Mem 2  | 4 MiB       | Sequential | Write     |
+ * | X-Mem 3  | 10 MiB      | Random     | Read      |
+ *
+ * The motivation experiments (§3.1) use a 2-core X-Mem 1-style
+ * instance whose 4 MiB working set exceeds the two private MLCs but
+ * fits in two LLC ways.
+ */
+
+#ifndef A4_WORKLOAD_XMEM_HH
+#define A4_WORKLOAD_XMEM_HH
+
+#include <memory>
+
+#include "workload/cpustream.hh"
+
+namespace a4
+{
+
+/** Configuration knobs shared by all X-Mem instances. */
+struct XmemParams
+{
+    /** Capacity scale divisor applied to working sets. */
+    unsigned scale = 1;
+    double freq_ghz = 2.3;
+};
+
+/** Build the X-Mem instance @p variant (1, 2, or 3 per Table 3). */
+inline CpuStreamConfig
+xmemConfig(unsigned variant, const XmemParams &p = XmemParams())
+{
+    CpuStreamConfig cfg;
+    cfg.freq_ghz = p.freq_ghz;
+    cfg.instr_per_access = 2.0; // memory benchmark: ~1 access / 3 instr
+    cfg.cpi_base = 0.4;
+    switch (variant) {
+      case 1:
+        cfg.ws_bytes = 4 * kMiB / p.scale;
+        cfg.pattern = CpuStreamConfig::Pattern::SeqRead;
+        cfg.mlp = 4.0;
+        break;
+      case 2:
+        cfg.ws_bytes = 4 * kMiB / p.scale;
+        cfg.pattern = CpuStreamConfig::Pattern::SeqWrite;
+        cfg.mlp = 4.0;
+        break;
+      case 3:
+        cfg.ws_bytes = 10 * kMiB / p.scale;
+        cfg.pattern = CpuStreamConfig::Pattern::RandRead;
+        cfg.mlp = 1.5;
+        break;
+      default:
+        fatal("xmemConfig: variant must be 1, 2, or 3");
+    }
+    return cfg;
+}
+
+} // namespace a4
+
+#endif // A4_WORKLOAD_XMEM_HH

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Unit tests for the A4 manager's state machine (§5, Fig. 9).
+ *
+ * The manager observes the system only through PCM counter deltas, so
+ * these tests script scenarios by bumping the underlying counters
+ * directly between manual tick() calls — fully deterministic, no
+ * workload actors involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/a4.hh"
+#include "mem/dram.hh"
+
+using namespace a4;
+
+namespace
+{
+
+struct Rig
+{
+    Rig(const A4Params &prm = fastParams())
+        : cat(11, 18), ddio(4),
+          cache(geom(), CacheLatencies{}, dram, cat)
+    {
+        net_port = pcie.addPort("nic", DeviceClass::Network);
+        ssd_port = pcie.addPort("ssd", DeviceClass::Storage);
+        mgr = std::make_unique<A4Manager>(eng, cache, cat, ddio, dram,
+                                          pcie, prm);
+    }
+
+    static CacheGeometry
+    geom()
+    {
+        CacheGeometry g;
+        g.num_cores = 18;
+        g.llc_sets = 64;
+        g.mlc_ways = 4;
+        g.mlc_sets = 16;
+        return g;
+    }
+
+    static A4Params
+    fastParams()
+    {
+        A4Params p;
+        p.min_accesses = 100;
+        p.min_dma_lines = 100;
+        p.monitor_interval = kMsec;
+        return p;
+    }
+
+    /** Register a non-I/O workload. */
+    WorkloadDesc
+    addCpu(WorkloadId id, QosPriority prio, std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "cpu" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = prio;
+        mgr->addWorkload(d);
+        return d;
+    }
+
+    /** Register an I/O workload on @p port. */
+    WorkloadDesc
+    addIo(WorkloadId id, QosPriority prio, DeviceClass cls, PortId port,
+          std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "io" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = prio;
+        d.is_io = true;
+        d.io_class = cls;
+        d.port = port;
+        mgr->addWorkload(d);
+        return d;
+    }
+
+    /** Synthesize an interval of healthy cache behaviour for @p id. */
+    void
+    healthy(WorkloadId id, double hit_rate = 0.9)
+    {
+        auto hits = static_cast<std::uint64_t>(hit_rate * 10000);
+        cache.wl(id).llc_hit.add(hits);
+        cache.wl(id).llc_miss.add(10000 - hits);
+        cache.wl(id).mlc_hit.add(8000);
+        cache.wl(id).mlc_miss.add(10000);
+    }
+
+    /** Synthesize an antagonistic interval (both miss rates ~100 %). */
+    void
+    antagonistic(WorkloadId id)
+    {
+        cache.wl(id).llc_hit.add(100);
+        cache.wl(id).llc_miss.add(9900);
+        cache.wl(id).mlc_hit.add(100);
+        cache.wl(id).mlc_miss.add(9900);
+    }
+
+    /** Synthesize a leaky storage interval on @p id / @p port. */
+    void
+    leakyStorage(WorkloadId id, PortId port)
+    {
+        cache.wl(id).dma_lines_written.add(10000);
+        cache.wl(id).dma_leaked.add(6000);
+        cache.wl(id).llc_hit.add(1000);
+        cache.wl(id).llc_miss.add(9000);
+        cache.wl(id).mlc_hit.add(1000);
+        cache.wl(id).mlc_miss.add(9000);
+        pcie.port(port).ingress_bytes.add(1000000);
+    }
+
+    Engine eng;
+    Dram dram;
+    CatController cat;
+    DdioController ddio;
+    PcieTopology pcie;
+    CacheSystem cache;
+    std::unique_ptr<A4Manager> mgr;
+    PortId net_port = 0, ssd_port = 0;
+};
+
+} // namespace
+
+TEST(A4Variants, PresetsGateFeatures)
+{
+    A4Params a = a4Variant('a');
+    EXPECT_FALSE(a.safeguard_io);
+    EXPECT_FALSE(a.selective_ddio);
+    EXPECT_FALSE(a.pseudo_bypass);
+    A4Params b = a4Variant('b');
+    EXPECT_TRUE(b.safeguard_io);
+    EXPECT_FALSE(b.selective_ddio);
+    A4Params c = a4Variant('c');
+    EXPECT_TRUE(c.selective_ddio);
+    EXPECT_FALSE(c.pseudo_bypass);
+    A4Params d = a4Variant('d');
+    EXPECT_TRUE(d.pseudo_bypass);
+    EXPECT_THROW(a4Variant('z'), FatalError);
+}
+
+TEST(A4Manager, InitialLayoutWithoutIo)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+    r.mgr->tick();
+
+    // LP Zone starts at the two rightmost ways; HP unconstrained.
+    EXPECT_EQ(r.mgr->lpMask(), CatController::makeMask(9, 10));
+    EXPECT_EQ(r.cat.maskForCore(0), CatController::fullMask(11));
+    EXPECT_EQ(r.cat.maskForCore(1), CatController::makeMask(9, 10));
+}
+
+TEST(A4Manager, InitialLayoutWithIoHpw)
+{
+    Rig r;
+    r.addIo(1, QosPriority::High, DeviceClass::Network, r.net_port,
+            {0, 1});
+    r.addCpu(2, QosPriority::High, {2});
+    r.addCpu(3, QosPriority::Low, {3});
+    r.mgr->tick();
+
+    // DCA Zone reserved: I/O HPW full, non-I/O HPW off ways [0:1],
+    // LP Zone pushed off the inclusive ways.
+    EXPECT_EQ(r.cat.maskForCore(0), CatController::fullMask(11));
+    EXPECT_EQ(r.cat.maskForCore(2), CatController::makeMask(2, 10));
+    EXPECT_EQ(r.mgr->lpMask(), CatController::makeMask(7, 8));
+}
+
+TEST(A4Manager, VariantADoesNotReserveZones)
+{
+    Rig r(a4Variant('a', Rig::fastParams()));
+    r.addIo(1, QosPriority::High, DeviceClass::Network, r.net_port, {0});
+    r.addCpu(2, QosPriority::High, {1});
+    r.addCpu(3, QosPriority::Low, {2});
+    r.mgr->tick();
+
+    EXPECT_EQ(r.cat.maskForCore(1), CatController::fullMask(11));
+    EXPECT_EQ(r.mgr->lpMask(), CatController::makeMask(9, 10));
+}
+
+TEST(A4Manager, LpZoneExpandsWhileHpwsHealthy)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    r.healthy(1);
+    r.mgr->tick(); // Init
+    r.healthy(1);
+    r.mgr->tick(); // Baseline recorded
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Expanding);
+
+    unsigned lo_before = r.mgr->lpLow();
+    for (int i = 0; i < 4; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+    }
+    // expand_period=2: two expansions in four ticks.
+    EXPECT_EQ(r.mgr->lpLow(), lo_before - 2);
+}
+
+TEST(A4Manager, ExpansionStopsWhenHpwDegrades)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    r.healthy(1, 0.9);
+    r.mgr->tick(); // Init
+    r.healthy(1, 0.9);
+    r.mgr->tick(); // Baseline = 0.9
+    for (int i = 0; i < 4; ++i) {
+        r.healthy(1, 0.9);
+        r.mgr->tick();
+    }
+    unsigned expanded_lo = r.mgr->lpLow();
+    ASSERT_LT(expanded_lo, 9u);
+
+    // HPW hit rate collapses below baseline - T1 (0.9 -> 0.6).
+    r.healthy(1, 0.6);
+    r.mgr->tick();
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+    EXPECT_EQ(r.mgr->lpLow(), expanded_lo + 1); // one step undone
+}
+
+TEST(A4Manager, ExpansionStopsAtMinimumWay)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    r.healthy(1);
+    r.mgr->tick();
+    r.healthy(1);
+    r.mgr->tick();
+    // Without I/O, LP may expand all the way to way 0.
+    for (int i = 0; i < 40; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Stable)
+            break;
+    }
+    EXPECT_EQ(r.mgr->lpLow(), 0u);
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+}
+
+TEST(A4Manager, StorageLeakDisablesDdioAndDemotes)
+{
+    Rig r;
+    r.addIo(1, QosPriority::High, DeviceClass::Network, r.net_port,
+            {0, 1});
+    r.addIo(2, QosPriority::High, DeviceClass::Storage, r.ssd_port,
+            {2, 3});
+
+    // Reach Stable with healthy behaviour first.
+    auto settle = [&] {
+        for (int i = 0; i < 30; ++i) {
+            r.healthy(1);
+            r.mgr->tick();
+            if (r.mgr->phase() == A4Manager::Phase::Stable)
+                return;
+        }
+    };
+    settle();
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+    ASSERT_TRUE(r.ddio.allocatingWrites(r.ssd_port));
+
+    // One leaky interval trips T2/T3/T4.
+    r.healthy(1);
+    r.leakyStorage(2, r.ssd_port);
+    r.mgr->tick();
+
+    EXPECT_FALSE(r.ddio.allocatingWrites(r.ssd_port));
+    EXPECT_TRUE(r.ddio.allocatingWrites(r.net_port));
+    EXPECT_TRUE(r.mgr->isDemoted(2));
+    EXPECT_TRUE(r.mgr->isAntagonist(2));
+    // Reallocation restarted from the initial partitions.
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Baseline);
+}
+
+TEST(A4Manager, VariantBDoesNotDisableDdio)
+{
+    Rig r(a4Variant('b', Rig::fastParams()));
+    r.addIo(1, QosPriority::High, DeviceClass::Network, r.net_port, {0});
+    r.addIo(2, QosPriority::High, DeviceClass::Storage, r.ssd_port, {1});
+
+    for (int i = 0; i < 30; ++i) {
+        r.healthy(1);
+        r.leakyStorage(2, r.ssd_port);
+        r.mgr->tick();
+    }
+    EXPECT_TRUE(r.ddio.allocatingWrites(r.ssd_port));
+    EXPECT_FALSE(r.mgr->isDemoted(2));
+}
+
+TEST(A4Manager, NonIoAntagonistWalksToTrashWays)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    // Settle.
+    for (int i = 0; i < 30; ++i) {
+        r.healthy(1);
+        r.healthy(2, 0.5);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Stable)
+            break;
+    }
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+
+    // Antagonistic behaviour: detected, then walked down to the
+    // single rightmost LP way across subsequent stable ticks.
+    for (int i = 0; i < 20; ++i) {
+        r.healthy(1);
+        r.antagonistic(2);
+        r.mgr->tick();
+        if (r.mgr->phase() != A4Manager::Phase::Stable)
+            break; // revert probes interleave; fine
+    }
+    EXPECT_TRUE(r.mgr->isAntagonist(2));
+    EXPECT_EQ(r.cat.maskForCore(1),
+              CatController::makeMask(r.mgr->lpHigh(), r.mgr->lpHigh()));
+}
+
+TEST(A4Manager, AntagonistRestoredOnPhaseChange)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    // Settle first (detection only runs in the Stable phase).
+    for (int i = 0; i < 30; ++i) {
+        r.healthy(1);
+        r.healthy(2, 0.5);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Stable)
+            break;
+    }
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+    for (int i = 0; i < 12 && !r.mgr->isAntagonist(2); ++i) {
+        r.healthy(1);
+        r.antagonistic(2);
+        r.mgr->tick();
+    }
+    ASSERT_TRUE(r.mgr->isAntagonist(2));
+
+    // Miss rate swings far from the detection value -> restore.
+    for (int i = 0; i < 6; ++i) {
+        r.healthy(1);
+        r.healthy(2, 0.8); // 20 % miss, far from ~99 %
+        r.mgr->tick();
+        if (!r.mgr->isAntagonist(2))
+            break;
+    }
+    EXPECT_FALSE(r.mgr->isAntagonist(2));
+}
+
+TEST(A4Manager, RevertProbeReturnsToStable)
+{
+    A4Params prm = Rig::fastParams();
+    prm.stable_intervals = 3;
+    Rig r(prm);
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    bool saw_revert = false;
+    for (int i = 0; i < 40; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Reverting)
+            saw_revert = true;
+    }
+    EXPECT_TRUE(saw_revert);
+    // With unchanged behaviour the manager returns to Stable.
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+}
+
+TEST(A4Manager, OracleNeverReverts)
+{
+    A4Params prm = Rig::fastParams();
+    prm.stable_intervals = 2;
+    prm.enable_revert = false;
+    Rig r(prm);
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    for (int i = 0; i < 40; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+        EXPECT_NE(r.mgr->phase(), A4Manager::Phase::Reverting);
+    }
+}
+
+TEST(A4Manager, WorkloadChangeTriggersRealloc)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+    for (int i = 0; i < 10; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+    }
+    ASSERT_NE(r.mgr->phase(), A4Manager::Phase::Baseline);
+
+    r.addCpu(3, QosPriority::Low, {2});
+    r.healthy(1);
+    r.mgr->tick();
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Baseline);
+}
+
+TEST(A4Manager, RemoveReenablesDdio)
+{
+    Rig r;
+    r.addIo(1, QosPriority::High, DeviceClass::Network, r.net_port, {0});
+    r.addIo(2, QosPriority::High, DeviceClass::Storage, r.ssd_port, {1});
+    for (int i = 0; i < 30; ++i) {
+        r.healthy(1);
+        r.leakyStorage(2, r.ssd_port);
+        r.mgr->tick();
+        if (!r.ddio.allocatingWrites(r.ssd_port))
+            break;
+    }
+    ASSERT_FALSE(r.ddio.allocatingWrites(r.ssd_port));
+
+    r.mgr->removeWorkload(2);
+    EXPECT_TRUE(r.ddio.allocatingWrites(r.ssd_port));
+}
+
+TEST(A4Manager, RegistrationErrors)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    WorkloadDesc dup;
+    dup.id = 1;
+    dup.cores = {5};
+    EXPECT_THROW(r.mgr->addWorkload(dup), FatalError);
+    WorkloadDesc zero;
+    zero.id = kNoWorkload;
+    EXPECT_THROW(r.mgr->addWorkload(zero), FatalError);
+    EXPECT_THROW(r.mgr->removeWorkload(42), FatalError);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Edge-path tests for the A4 manager: trash-shrink stability aborts,
+ * revert-probe phase-change detection, expansion floors with I/O
+ * present, and variant-c antagonist handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/a4.hh"
+#include "mem/dram.hh"
+
+using namespace a4;
+
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(const A4Params &prm = fastParams())
+        : cat(11, 18), ddio(4),
+          cache(geom(), CacheLatencies{}, dram, cat)
+    {
+        net_port = pcie.addPort("nic", DeviceClass::Network);
+        ssd_port = pcie.addPort("ssd", DeviceClass::Storage);
+        mgr = std::make_unique<A4Manager>(eng, cache, cat, ddio, dram,
+                                          pcie, prm);
+    }
+
+    static CacheGeometry
+    geom()
+    {
+        CacheGeometry g;
+        g.num_cores = 18;
+        g.llc_sets = 64;
+        g.mlc_ways = 4;
+        g.mlc_sets = 16;
+        return g;
+    }
+
+    static A4Params
+    fastParams()
+    {
+        A4Params p;
+        p.min_accesses = 100;
+        p.min_dma_lines = 100;
+        return p;
+    }
+
+    void
+    addCpu(WorkloadId id, QosPriority prio, std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "cpu" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = prio;
+        mgr->addWorkload(d);
+    }
+
+    void
+    addStorage(WorkloadId id, std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "ssd" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = QosPriority::High;
+        d.is_io = true;
+        d.io_class = DeviceClass::Storage;
+        d.port = ssd_port;
+        mgr->addWorkload(d);
+    }
+
+    void
+    addNet(WorkloadId id, std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "net" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = QosPriority::High;
+        d.is_io = true;
+        d.io_class = DeviceClass::Network;
+        d.port = net_port;
+        mgr->addWorkload(d);
+    }
+
+    void
+    healthy(WorkloadId id, double hit = 0.9)
+    {
+        auto h = static_cast<std::uint64_t>(hit * 10000);
+        cache.wl(id).llc_hit.add(h);
+        cache.wl(id).llc_miss.add(10000 - h);
+        cache.wl(id).mlc_hit.add(8000);
+        cache.wl(id).mlc_miss.add(10000);
+    }
+
+    void
+    antagonistic(WorkloadId id)
+    {
+        cache.wl(id).llc_hit.add(100);
+        cache.wl(id).llc_miss.add(9900);
+        cache.wl(id).mlc_hit.add(100);
+        cache.wl(id).mlc_miss.add(9900);
+    }
+
+    void
+    settle(WorkloadId hpw)
+    {
+        for (int i = 0; i < 30; ++i) {
+            healthy(hpw);
+            mgr->tick();
+            if (mgr->phase() == A4Manager::Phase::Stable)
+                return;
+        }
+    }
+
+    Engine eng;
+    Dram dram;
+    CatController cat;
+    DdioController ddio;
+    PcieTopology pcie;
+    CacheSystem cache;
+    std::unique_ptr<A4Manager> mgr;
+    PortId net_port = 0, ssd_port = 0;
+};
+
+} // namespace
+
+TEST(A4Edges, ExpansionFloorsAtDcaWaysWithIoPresent)
+{
+    Rig r;
+    r.addNet(1, {0, 1});
+    r.addCpu(2, QosPriority::Low, {2});
+
+    for (int i = 0; i < 40; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Stable)
+            break;
+    }
+    // LP Zone may expand at most down to way 2 (never into the DCA
+    // ways) and its upper bound stays off the inclusive ways.
+    EXPECT_EQ(r.mgr->lpLow(), 2u);
+    EXPECT_EQ(r.mgr->lpHigh(), 8u);
+}
+
+TEST(A4Edges, TrashShrinkAbortsWhenMemBwDestabilises)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+    r.settle(1);
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+
+    // Detect the antagonist with steady memory bandwidth...
+    r.healthy(1);
+    r.antagonistic(2);
+    r.dram.writeBulk(r.eng.now(), 1 * kMiB);
+    r.mgr->tick();
+    ASSERT_TRUE(r.mgr->isAntagonist(2));
+
+    // ...then blow up system memory bandwidth right after each
+    // shrink step: the walk reverts its last step and ceases.
+    for (int i = 0; i < 6; ++i) {
+        r.healthy(1);
+        r.antagonistic(2);
+        r.dram.writeBulk(r.eng.now(), (10 + 10 * i) * kMiB);
+        r.mgr->tick();
+    }
+    unsigned frozen_bits = std::popcount(r.mgr->trashMask());
+    // Frozen well before reaching the single trash way...
+    EXPECT_GT(frozen_bits, 1u);
+    // ...and it stays frozen under continued instability.
+    for (int i = 0; i < 4; ++i) {
+        r.healthy(1);
+        r.antagonistic(2);
+        r.dram.writeBulk(r.eng.now(), 100 * kMiB);
+        r.mgr->tick();
+    }
+    EXPECT_EQ(std::popcount(r.mgr->trashMask()),
+              static_cast<int>(frozen_bits));
+}
+
+TEST(A4Edges, RevertProbeDetectsPhaseChange)
+{
+    A4Params p = Rig::fastParams();
+    p.stable_intervals = 3;
+    Rig r(p);
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+
+    // Settle at a modest hit rate.
+    for (int i = 0; i < 30; ++i) {
+        r.healthy(1, 0.6);
+        r.mgr->tick();
+        if (r.mgr->phase() == A4Manager::Phase::Stable)
+            break;
+    }
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+
+    // Keep 0.6 until the revert probe fires, then show a much higher
+    // attainable hit rate during the probe -> re-search (Baseline).
+    bool resurveyed = false;
+    for (int i = 0; i < 12 && !resurveyed; ++i) {
+        bool probing = r.mgr->phase() == A4Manager::Phase::Reverting;
+        r.healthy(1, probing ? 0.95 : 0.6);
+        r.mgr->tick();
+        resurveyed = r.mgr->phase() == A4Manager::Phase::Baseline;
+    }
+    EXPECT_TRUE(resurveyed);
+}
+
+TEST(A4Edges, VariantCDemotesStorageToLpwNotTrash)
+{
+    Rig r(a4Variant('c', Rig::fastParams()));
+    r.addNet(1, {0, 1});
+    r.addStorage(2, {2, 3});
+    r.settle(1);
+
+    // Trip the leak detector.
+    for (int i = 0; i < 10 && !r.mgr->isDemoted(2); ++i) {
+        r.healthy(1);
+        r.cache.wl(2).dma_lines_written.add(10000);
+        r.cache.wl(2).dma_leaked.add(6000);
+        r.cache.wl(2).llc_hit.add(1000);
+        r.cache.wl(2).llc_miss.add(9000);
+        r.pcie.port(r.ssd_port).ingress_bytes.add(1000000);
+        r.mgr->tick();
+    }
+    ASSERT_TRUE(r.mgr->isDemoted(2));
+    EXPECT_FALSE(r.ddio.allocatingWrites(r.ssd_port));
+
+    // Without pseudo bypassing (A4-c), the demoted workload shares
+    // the LP Zone rather than the trash ways.
+    for (int i = 0; i < 6; ++i) {
+        r.healthy(1);
+        r.mgr->tick();
+    }
+    for (CoreId c : {2, 3})
+        EXPECT_EQ(r.cat.maskForCore(c), r.mgr->lpMask());
+}
+
+TEST(A4Edges, StableHpwDegradationTriggersResearch)
+{
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.addCpu(2, QosPriority::Low, {1});
+    r.settle(1);
+    ASSERT_EQ(r.mgr->phase(), A4Manager::Phase::Stable);
+
+    // A persistent drop beyond T1 vs the baseline re-enters Init.
+    r.healthy(1, 0.5);
+    r.mgr->tick();
+    EXPECT_EQ(r.mgr->phase(), A4Manager::Phase::Baseline);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Property-based tests over the A4 manager: for every variant and
+ * every scripted counter scenario, after any number of ticks the
+ * programmed CAT state must satisfy the framework's own rules:
+ *
+ *  Q1. All CLOS masks are contiguous and non-empty (CAT-legal).
+ *  Q2. The LP Zone stays inside its initial..minimum range, never
+ *      touching the DCA ways while I/O HPWs exist (safeguard on),
+ *      and never the inclusive ways.
+ *  Q3. The trash zone is a suffix of the LP Zone.
+ *  Q4. Every registered core is associated with the CLOS its
+ *      effective QoS implies.
+ *  Q5. DDIO is disabled only for storage ports, and only when the
+ *      selective-DDIO feature is on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/a4.hh"
+#include "mem/dram.hh"
+
+using namespace a4;
+
+namespace
+{
+
+/** Variant letter x scenario seed. */
+using ParamT = std::tuple<char, std::uint64_t>;
+
+class A4Property : public ::testing::TestWithParam<ParamT>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        geom.num_cores = 18;
+        geom.llc_sets = 64;
+        geom.mlc_ways = 4;
+        geom.mlc_sets = 16;
+        cat = std::make_unique<CatController>(11, 18);
+        ddio = std::make_unique<DdioController>(4);
+        cache = std::make_unique<CacheSystem>(geom, CacheLatencies{},
+                                              dram, *cat);
+        net_port = pcie.addPort("nic", DeviceClass::Network);
+        ssd_port = pcie.addPort("ssd", DeviceClass::Storage);
+
+        A4Params prm = a4Variant(std::get<0>(GetParam()));
+        prm.min_accesses = 100;
+        prm.min_dma_lines = 100;
+        mgr = std::make_unique<A4Manager>(eng, *cache, *cat, *ddio,
+                                          dram, pcie, prm);
+
+        // Standard population: network HPW, storage HPW, non-I/O HPW,
+        // two non-I/O LPWs.
+        addIo(1, QosPriority::High, DeviceClass::Network, net_port,
+              {0, 1, 2, 3});
+        addIo(2, QosPriority::High, DeviceClass::Storage, ssd_port,
+              {4, 5, 6});
+        addCpu(3, QosPriority::High, {7});
+        addCpu(4, QosPriority::Low, {8});
+        addCpu(5, QosPriority::Low, {9});
+    }
+
+    void
+    addCpu(WorkloadId id, QosPriority prio, std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "w" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = prio;
+        descs.push_back(d);
+        mgr->addWorkload(d);
+    }
+
+    void
+    addIo(WorkloadId id, QosPriority prio, DeviceClass cls, PortId port,
+          std::vector<CoreId> cores)
+    {
+        WorkloadDesc d;
+        d.id = id;
+        d.name = "w" + std::to_string(id);
+        d.cores = std::move(cores);
+        d.priority = prio;
+        d.is_io = true;
+        d.io_class = cls;
+        d.port = port;
+        descs.push_back(d);
+        mgr->addWorkload(d);
+    }
+
+    /** Random but seed-deterministic counter activity, then a tick. */
+    void
+    randomTick(Rng &rng)
+    {
+        for (const auto &d : descs) {
+            WorkloadCounters &c = cache->wl(d.id);
+            std::uint64_t hits = rng.below(10000);
+            c.llc_hit.add(hits);
+            c.llc_miss.add(10000 - hits);
+            std::uint64_t mh = rng.below(10000);
+            c.mlc_hit.add(mh);
+            c.mlc_miss.add(10000 - mh);
+            if (d.is_io) {
+                std::uint64_t w = 5000 + rng.below(10000);
+                c.dma_lines_written.add(w);
+                c.dma_leaked.add(rng.below(w));
+                pcie.port(d.port).ingress_bytes.add(rng.below(1u << 20));
+            }
+        }
+        mgr->tick();
+    }
+
+    void
+    checkInvariants()
+    {
+        const A4Params &prm = mgr->params();
+
+        // Q1: every programmed CLOS mask is CAT-legal.
+        for (unsigned clos = 0; clos < 5; ++clos) {
+            WayMask m = cat->closMask(clos);
+            EXPECT_NE(m, 0u);
+            EXPECT_TRUE(CatController::isContiguous(m));
+        }
+
+        // Q2: LP Zone bounds.
+        WayMask lp = mgr->lpMask();
+        EXPECT_TRUE(CatController::isContiguous(lp));
+        if (prm.safeguard_io) {
+            EXPECT_EQ(lp & CatController::makeMask(9, 10), 0u);
+            EXPECT_EQ(lp & CatController::makeMask(0, 1), 0u);
+        }
+
+        // Q3: trash zone is a suffix of the LP Zone's range.
+        WayMask trash = mgr->trashMask();
+        EXPECT_TRUE(CatController::isContiguous(trash));
+        EXPECT_EQ(trash & ~CatController::makeMask(0, mgr->lpHigh()),
+                  0u);
+        EXPECT_TRUE(trash & (1u << mgr->lpHigh()));
+
+        // Q5: DDIO state.
+        EXPECT_TRUE(ddio->allocatingWrites(net_port));
+        if (!prm.selective_ddio) {
+            EXPECT_TRUE(ddio->allocatingWrites(ssd_port));
+        }
+    }
+
+    CacheGeometry geom;
+    Engine eng;
+    Dram dram;
+    std::unique_ptr<CatController> cat;
+    std::unique_ptr<DdioController> ddio;
+    PcieTopology pcie;
+    std::unique_ptr<CacheSystem> cache;
+    std::unique_ptr<A4Manager> mgr;
+    std::vector<WorkloadDesc> descs;
+    PortId net_port = 0, ssd_port = 0;
+};
+
+} // namespace
+
+TEST_P(A4Property, InvariantsHoldAcrossRandomTicks)
+{
+    Rng rng(std::get<1>(GetParam()));
+    for (int i = 0; i < 120; ++i) {
+        randomTick(rng);
+        checkInvariants();
+    }
+}
+
+TEST_P(A4Property, InvariantsSurviveChurn)
+{
+    Rng rng(std::get<1>(GetParam()) ^ 0xC0FFEEull);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 15; ++i) {
+            randomTick(rng);
+            checkInvariants();
+        }
+        // Launch and terminate extra workloads mid-flight.
+        WorkloadId id = static_cast<WorkloadId>(100 + round);
+        addCpu(id, round % 2 ? QosPriority::Low : QosPriority::High,
+               {static_cast<CoreId>(10 + round)});
+        for (int i = 0; i < 5; ++i) {
+            randomTick(rng);
+            checkInvariants();
+        }
+        mgr->removeWorkload(id);
+        descs.pop_back();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, A4Property,
+    ::testing::Combine(::testing::Values('a', 'b', 'c', 'd'),
+                       ::testing::Values(11ull, 22ull, 33ull)),
+    [](const ::testing::TestParamInfo<ParamT> &info) {
+        return std::string("variant_") + std::get<0>(info.param) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Default and Isolate baseline managers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hh"
+
+using namespace a4;
+
+namespace
+{
+
+WorkloadDesc
+desc(WorkloadId id, std::vector<CoreId> cores)
+{
+    WorkloadDesc d;
+    d.id = id;
+    d.name = "w" + std::to_string(id);
+    d.cores = std::move(cores);
+    return d;
+}
+
+} // namespace
+
+TEST(DefaultManager, LeavesFullSharing)
+{
+    CatController cat(11, 18);
+    cat.setClosMask(3, 0x3); // dirty state from a previous run
+    cat.assignCore(0, 3);
+
+    DefaultManager mgr(cat);
+    mgr.addWorkload(desc(1, {0, 1}));
+    mgr.start();
+
+    EXPECT_EQ(cat.maskForCore(0), CatController::fullMask(11));
+    EXPECT_EQ(cat.closOfCore(0), 0u);
+}
+
+TEST(IsolateManager, ProportionalPartitions)
+{
+    CatController cat(11, 18);
+    IsolateManager mgr(cat);
+    mgr.addWorkload(desc(1, {0, 1, 2, 3}));  // 4 cores
+    mgr.addWorkload(desc(2, {4, 5}));        // 2 cores
+    mgr.addWorkload(desc(3, {6}));           // 1 core
+    mgr.start();
+
+    WayMask m1 = cat.maskForCore(0);
+    WayMask m2 = cat.maskForCore(4);
+    WayMask m3 = cat.maskForCore(6);
+
+    // Disjoint, contiguous, covering all 11 ways.
+    EXPECT_EQ(m1 & m2, 0u);
+    EXPECT_EQ(m1 & m3, 0u);
+    EXPECT_EQ(m2 & m3, 0u);
+    EXPECT_EQ(m1 | m2 | m3, CatController::fullMask(11));
+    EXPECT_TRUE(CatController::isContiguous(m1));
+    EXPECT_TRUE(CatController::isContiguous(m2));
+    EXPECT_TRUE(CatController::isContiguous(m3));
+
+    // More cores -> at least as many ways.
+    EXPECT_GE(std::popcount(m1), std::popcount(m2));
+    EXPECT_GE(std::popcount(m2), std::popcount(m3));
+}
+
+TEST(IsolateManager, PinnedRangesRespected)
+{
+    CatController cat(11, 18);
+    IsolateManager mgr(cat);
+    mgr.pin(desc(1, {0, 1, 2, 3}), 2, 3); // DPDK at way[2:3]
+    mgr.pin(desc(2, {4, 5, 6, 7}), 4, 6); // FIO at way[4:6]
+    mgr.start();
+
+    EXPECT_EQ(cat.maskForCore(0), CatController::makeMask(2, 3));
+    EXPECT_EQ(cat.maskForCore(4), CatController::makeMask(4, 6));
+}
+
+TEST(IsolateManager, MixedPinnedAndProportional)
+{
+    CatController cat(11, 18);
+    IsolateManager mgr(cat);
+    mgr.pin(desc(1, {0}), 0, 1);
+    mgr.addWorkload(desc(2, {2, 3}));
+    mgr.addWorkload(desc(3, {4}));
+    mgr.start();
+
+    WayMask m2 = cat.maskForCore(2);
+    WayMask m3 = cat.maskForCore(4);
+    // Auto-partitioned workloads use only ways 2..10.
+    EXPECT_EQ(m2 & CatController::makeMask(0, 1), 0u);
+    EXPECT_EQ(m3 & CatController::makeMask(0, 1), 0u);
+    EXPECT_EQ(m2 & m3, 0u);
+}
+
+TEST(IsolateManager, SingleWorkloadGetsEverything)
+{
+    CatController cat(11, 18);
+    IsolateManager mgr(cat);
+    mgr.addWorkload(desc(1, {0, 1}));
+    mgr.start();
+    EXPECT_EQ(cat.maskForCore(0), CatController::fullMask(11));
+}
+
+TEST(IsolateManager, SharesWaysWhenOversubscribed)
+{
+    // 12 workloads on 11 ways: the static model cannot isolate them
+    // all (§5.2's "more processes than ways" challenge), so single-way
+    // partitions are shared round-robin.
+    CatController cat(11, 18);
+    IsolateManager mgr(cat);
+    for (WorkloadId i = 1; i <= 12; ++i)
+        mgr.addWorkload(desc(i, {static_cast<CoreId>(i)}));
+    mgr.start();
+
+    WayMask covered = 0;
+    for (CoreId c = 1; c <= 12; ++c) {
+        WayMask m = cat.maskForCore(c);
+        EXPECT_EQ(std::popcount(m), 1) << "core " << c;
+        covered |= m;
+    }
+    EXPECT_EQ(covered, CatController::fullMask(11));
+    // Workloads 1 and 12 wrap onto the same way.
+    EXPECT_EQ(cat.maskForCore(1), cat.maskForCore(12));
+}

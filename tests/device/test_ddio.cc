@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the DDIO control model: BIOS knob, the hidden
+ * per-port perfctrlsts_0 bits, and the interaction between them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iodev/ddio.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+TEST(Ddio, DefaultsToAllocatingEverywhere)
+{
+    DdioController d(4);
+    for (PortId p = 0; p < 4; ++p)
+        EXPECT_TRUE(d.allocatingWrites(p));
+    EXPECT_TRUE(d.biosDca());
+    EXPECT_EQ(d.dcaWayCount(), 2u);
+}
+
+TEST(Ddio, BiosKnobDisablesAllPorts)
+{
+    DdioController d(3);
+    d.setBiosDca(false);
+    for (PortId p = 0; p < 3; ++p)
+        EXPECT_FALSE(d.allocatingWrites(p));
+    d.setBiosDca(true);
+    EXPECT_TRUE(d.allocatingWrites(0));
+}
+
+TEST(Ddio, PerPortDisableIsSelective)
+{
+    DdioController d(3);
+    d.disableDcaForPort(1);
+    EXPECT_TRUE(d.allocatingWrites(0));
+    EXPECT_FALSE(d.allocatingWrites(1));
+    EXPECT_TRUE(d.allocatingWrites(2));
+}
+
+TEST(Ddio, DisableSetsTheDocumentedBits)
+{
+    // A4 (F2): set NoSnoopOpWrEn, clear Use_Allocating_Flow_Wr.
+    DdioController d(2);
+    d.disableDcaForPort(0);
+    EXPECT_TRUE(d.reg(0).no_snoop_op_wr_en);
+    EXPECT_FALSE(d.reg(0).use_allocating_flow_wr);
+    d.enableDcaForPort(0);
+    EXPECT_FALSE(d.reg(0).no_snoop_op_wr_en);
+    EXPECT_TRUE(d.reg(0).use_allocating_flow_wr);
+}
+
+TEST(Ddio, EitherBitAloneDisablesAllocation)
+{
+    DdioController d(2);
+    d.reg(0).no_snoop_op_wr_en = true;
+    EXPECT_FALSE(d.allocatingWrites(0));
+
+    d.reg(1).use_allocating_flow_wr = false;
+    EXPECT_FALSE(d.allocatingWrites(1));
+}
+
+TEST(Ddio, PortRangeChecked)
+{
+    DdioController d(2);
+    EXPECT_THROW(d.reg(5), FatalError);
+    EXPECT_THROW(d.disableDcaForPort(9), FatalError);
+}
+
+TEST(Ddio, RejectsZeroDcaWays)
+{
+    EXPECT_THROW(DdioController bad(1, 0), FatalError);
+}

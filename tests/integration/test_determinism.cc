@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Full-stack determinism: two identically-configured testbeds running
+ * the same workloads, devices, and A4 daemon must produce identical
+ * counter states. Every experiment table in this repository rests on
+ * this reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/builders.hh"
+#include "harness/testbed.hh"
+
+using namespace a4;
+
+namespace
+{
+
+struct Fingerprint
+{
+    std::uint64_t llc_evictions;
+    std::uint64_t dpdk_packets;
+    std::uint64_t dpdk_llc_hit;
+    std::uint64_t fio_blocks;
+    std::uint64_t fio_leaked;
+    std::uint64_t mem_rd;
+    std::uint64_t mem_wr;
+    double dpdk_p99;
+    unsigned a4_lp_lo;
+    bool ssd_ddio;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return std::tie(llc_evictions, dpdk_packets, dpdk_llc_hit,
+                        fio_blocks, fio_leaked, mem_rd, mem_wr,
+                        dpdk_p99, a4_lp_lo, ssd_ddio) ==
+               std::tie(o.llc_evictions, o.dpdk_packets,
+                        o.dpdk_llc_hit, o.fio_blocks, o.fio_leaked,
+                        o.mem_rd, o.mem_wr, o.dpdk_p99, o.a4_lp_lo,
+                        o.ssd_ddio);
+    }
+};
+
+Fingerprint
+runOnce(bool with_a4)
+{
+    ServerConfig cfg;
+    cfg.scale = 8;
+    Testbed bed(cfg);
+
+    DpdkWorkload &dpdk = addDpdk(bed, "dpdk", true);
+    FioWorkload &fio = addFio(bed, "fio", 1 * kMiB);
+
+    std::unique_ptr<A4Manager> mgr;
+    if (with_a4) {
+        A4Params prm;
+        prm.monitor_interval = 5 * kMsec;
+        prm.min_accesses = 500;
+        prm.min_dma_lines = 500;
+        mgr = std::make_unique<A4Manager>(bed.engine(), bed.cache(),
+                                          bed.cat(), bed.ddio(),
+                                          bed.dram(), bed.pcie(), prm);
+        mgr->addWorkload(Testbed::describe(dpdk, QosPriority::High));
+        mgr->addWorkload(Testbed::describe(fio, QosPriority::High));
+        mgr->start();
+    }
+
+    dpdk.start();
+    fio.start();
+    bed.run(120 * kMsec);
+
+    Fingerprint f;
+    f.llc_evictions = bed.cache().global().llc_evictions.value();
+    f.dpdk_packets = dpdk.ops().value();
+    f.dpdk_llc_hit = bed.cache().wlConst(dpdk.id()).llc_hit.value();
+    f.fio_blocks = fio.ops().value();
+    f.fio_leaked = bed.cache().wlConst(fio.id()).dma_leaked.value();
+    f.mem_rd = bed.dram().readBytes().value();
+    f.mem_wr = bed.dram().writeBytes().value();
+    f.dpdk_p99 = dpdk.latency().percentile(99);
+    f.a4_lp_lo = mgr ? mgr->lpLow() : 0;
+    f.ssd_ddio = bed.ddio().allocatingWrites(fio.ioPort());
+    return f;
+}
+
+} // namespace
+
+TEST(Determinism, UnmanagedRunsAreBitIdentical)
+{
+    Fingerprint a = runOnce(false);
+    Fingerprint b = runOnce(false);
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.dpdk_packets, 0u);
+    EXPECT_GT(a.fio_blocks, 0u);
+}
+
+TEST(Determinism, A4ManagedRunsAreBitIdentical)
+{
+    Fingerprint a = runOnce(true);
+    Fingerprint b = runOnce(true);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, ManagementActuallyChangesTheSystem)
+{
+    // Guard against the fingerprint being trivially constant.
+    Fingerprint unmanaged = runOnce(false);
+    Fingerprint managed = runOnce(true);
+    EXPECT_FALSE(unmanaged == managed);
+}

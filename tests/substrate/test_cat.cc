@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the CAT model: mask validation (contiguity, bounds),
+ * CLOS association, and the paper's hex display convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rdt/cat.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+namespace
+{
+CatController
+makeCat()
+{
+    return CatController(11, 18, 16);
+}
+} // namespace
+
+TEST(Cat, DefaultsToFullMaskAndClosZero)
+{
+    auto cat = makeCat();
+    EXPECT_EQ(cat.closMask(0), CatController::fullMask(11));
+    EXPECT_EQ(cat.closOfCore(5), 0u);
+    EXPECT_EQ(cat.maskForCore(5), CatController::fullMask(11));
+}
+
+TEST(Cat, MakeMaskCoversRange)
+{
+    EXPECT_EQ(CatController::makeMask(0, 1), 0x3u);
+    EXPECT_EQ(CatController::makeMask(9, 10), 0x600u);
+    EXPECT_EQ(CatController::makeMask(2, 8), 0x1FCu);
+    EXPECT_EQ(CatController::makeMask(4, 4), 0x10u);
+}
+
+TEST(Cat, ContiguityPredicate)
+{
+    EXPECT_TRUE(CatController::isContiguous(0x3));
+    EXPECT_TRUE(CatController::isContiguous(0x600));
+    EXPECT_TRUE(CatController::isContiguous(0x1));
+    EXPECT_TRUE(CatController::isContiguous(0x7FF));
+    EXPECT_FALSE(CatController::isContiguous(0x0));
+    EXPECT_FALSE(CatController::isContiguous(0x5));
+    EXPECT_FALSE(CatController::isContiguous(0x601));
+}
+
+TEST(Cat, RejectsInvalidMasks)
+{
+    auto cat = makeCat();
+    EXPECT_THROW(cat.setClosMask(1, 0), FatalError);
+    EXPECT_THROW(cat.setClosMask(1, 0x5), FatalError);      // holes
+    EXPECT_THROW(cat.setClosMask(1, 0x800), FatalError);    // way 11
+    EXPECT_THROW(cat.setClosMask(99, 0x3), FatalError);     // bad CLOS
+}
+
+TEST(Cat, AcceptsAndStoresValidMask)
+{
+    auto cat = makeCat();
+    cat.setClosMask(3, CatController::makeMask(2, 5));
+    EXPECT_EQ(cat.closMask(3), 0x3Cu);
+}
+
+TEST(Cat, CoreAssociationRoutesToMask)
+{
+    auto cat = makeCat();
+    cat.setClosMask(2, CatController::makeMask(9, 10));
+    cat.assignCore(7, 2);
+    EXPECT_EQ(cat.closOfCore(7), 2u);
+    EXPECT_EQ(cat.maskForCore(7), 0x600u);
+    EXPECT_THROW(cat.assignCore(99, 2), FatalError);
+    EXPECT_THROW(cat.assignCore(0, 99), FatalError);
+}
+
+TEST(Cat, ResetRestoresDefaults)
+{
+    auto cat = makeCat();
+    cat.setClosMask(1, 0x3);
+    cat.assignCore(0, 1);
+    cat.resetAll();
+    EXPECT_EQ(cat.closMask(1), CatController::fullMask(11));
+    EXPECT_EQ(cat.closOfCore(0), 0u);
+}
+
+TEST(Cat, PaperHexConventionMatchesFigure3)
+{
+    // The paper writes way[0:1] as 0x600 and way[9:10] as 0x003.
+    auto cat = makeCat();
+    EXPECT_EQ(cat.paperHex(CatController::makeMask(0, 1)), "0x600");
+    EXPECT_EQ(cat.paperHex(CatController::makeMask(1, 2)), "0x300");
+    EXPECT_EQ(cat.paperHex(CatController::makeMask(9, 10)), "0x003");
+    EXPECT_EQ(cat.paperHex(CatController::makeMask(5, 6)), "0x030");
+}
+
+TEST(Cat, RejectsDegenerateConstruction)
+{
+    EXPECT_THROW(CatController(0, 4), FatalError);
+    EXPECT_THROW(CatController(32, 4), FatalError);
+    EXPECT_THROW(CatController(11, 4, 0), FatalError);
+}

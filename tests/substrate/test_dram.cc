@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the DRAM model: byte accounting, utilisation window,
+ * and load-dependent latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "sim/log.hh"
+
+using namespace a4;
+
+TEST(Dram, CountsBytes)
+{
+    Dram d;
+    d.readLine(0);
+    d.readLine(10);
+    d.writeLine(20);
+    EXPECT_EQ(d.readBytes().value(), 2 * kLineBytes);
+    EXPECT_EQ(d.writeBytes().value(), kLineBytes);
+}
+
+TEST(Dram, BulkAccounting)
+{
+    Dram d;
+    d.readBulk(0, 1 * kMiB);
+    d.writeBulk(0, 2 * kMiB);
+    EXPECT_EQ(d.readBytes().value(), 1 * kMiB);
+    EXPECT_EQ(d.writeBytes().value(), 2 * kMiB);
+}
+
+TEST(Dram, UnloadedLatencyIsBase)
+{
+    DramConfig cfg;
+    cfg.base_latency_ns = 90.0;
+    Dram d(cfg);
+    EXPECT_NEAR(d.effectiveLatency(0), 90.0, 1.0);
+}
+
+TEST(Dram, LatencyGrowsWithUtilization)
+{
+    DramConfig cfg;
+    cfg.base_latency_ns = 90.0;
+    cfg.peak_bw_bps = 1e9; // tiny: easy to saturate
+    cfg.window_ns = 100 * kUsec;
+    Dram d(cfg);
+
+    double idle = d.effectiveLatency(0);
+    // Push ~90% of the window's capacity through.
+    d.writeBulk(1, 90 * kKiB);
+    double loaded = d.effectiveLatency(50 * kUsec);
+    EXPECT_GT(loaded, idle * 1.5);
+    EXPECT_LE(loaded, idle * 8.01); // capped
+}
+
+TEST(Dram, UtilizationDecaysAfterIdle)
+{
+    DramConfig cfg;
+    cfg.peak_bw_bps = 1e9;
+    cfg.window_ns = 100 * kUsec;
+    Dram d(cfg);
+    d.writeBulk(1, 80 * kKiB);
+    EXPECT_GT(d.utilization(10 * kUsec), 0.5);
+    // Two whole windows later the traffic has aged out.
+    EXPECT_LT(d.utilization(1 * kMsec), 0.05);
+}
+
+TEST(Dram, WritesArePosted)
+{
+    Dram d;
+    EXPECT_DOUBLE_EQ(d.writeLine(0), 0.0);
+    EXPECT_GT(d.readLine(0), 0.0);
+}
+
+TEST(Dram, RejectsBadConfig)
+{
+    DramConfig cfg;
+    cfg.peak_bw_bps = 0.0;
+    EXPECT_THROW(Dram bad(cfg), FatalError);
+    DramConfig cfg2;
+    cfg2.window_ns = 0;
+    EXPECT_THROW(Dram bad2(cfg2), FatalError);
+}

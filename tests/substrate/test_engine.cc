@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, determinism,
+ * time advancement, and self-scheduling actors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+using namespace a4;
+
+TEST(Engine, StartsAtTimeZero)
+{
+    Engine eng;
+    EXPECT_EQ(eng.now(), 0u);
+    EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    eng.schedule(30, [&] { order.push_back(3); });
+    eng.schedule(10, [&] { order.push_back(1); });
+    eng.schedule(20, [&] { order.push_back(2); });
+    eng.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder)
+{
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eng.schedule(5, [&, i] { order.push_back(i); });
+    eng.runUntil(10);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive)
+{
+    Engine eng;
+    int fired = 0;
+    eng.schedule(10, [&] { ++fired; });
+    eng.schedule(11, [&] { ++fired; });
+    eng.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eng.now(), 10u);
+    eng.runUntil(11);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, AdvancesTimeEvenWhenQueueDrains)
+{
+    Engine eng;
+    eng.runUntil(500);
+    EXPECT_EQ(eng.now(), 500u);
+}
+
+TEST(Engine, CallbacksMayScheduleMore)
+{
+    Engine eng;
+    int count = 0;
+    std::function<void()> self = [&] {
+        if (++count < 5)
+            eng.schedule(10, self);
+    };
+    eng.schedule(10, self);
+    eng.runUntil(1000);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eng.eventsFired(), 5u);
+}
+
+TEST(Engine, ScheduleAtClampsToNow)
+{
+    Engine eng;
+    eng.schedule(100, [] {});
+    eng.runUntil(100);
+    bool fired = false;
+    eng.scheduleAt(50, [&] { fired = true; }); // in the past
+    eng.runUntil(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunForIsRelative)
+{
+    Engine eng;
+    eng.runFor(100);
+    eng.runFor(100);
+    EXPECT_EQ(eng.now(), 200u);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for statistics primitives: latency distributions with
+ * reservoir percentiles, snapshot counters, and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace a4;
+
+TEST(LatencyStat, EmptyIsZero)
+{
+    LatencyStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(LatencyStat, BasicMoments)
+{
+    LatencyStat s;
+    for (int i = 1; i <= 100; ++i)
+        s.record(i);
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(LatencyStat, PercentilesOnUniformRamp)
+{
+    LatencyStat s;
+    for (int i = 0; i < 1000; ++i)
+        s.record(i);
+    EXPECT_NEAR(s.percentile(50), 500.0, 25.0);
+    EXPECT_NEAR(s.percentile(99), 990.0, 15.0);
+    EXPECT_NEAR(s.percentile(0), 0.0, 5.0);
+    EXPECT_NEAR(s.percentile(100), 999.0, 1.0);
+}
+
+TEST(LatencyStat, ReservoirTracksLargeStreams)
+{
+    // 100k samples exceed the reservoir; p99 must stay accurate.
+    LatencyStat s;
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i)
+        s.record(rng.uniform() * 1000.0);
+    EXPECT_NEAR(s.percentile(50), 500.0, 40.0);
+    EXPECT_NEAR(s.percentile(99), 990.0, 10.0);
+}
+
+TEST(LatencyStat, MergeCombinesCounts)
+{
+    LatencyStat a, b;
+    for (int i = 0; i < 100; ++i)
+        a.record(10.0);
+    for (int i = 0; i < 100; ++i)
+        b.record(30.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(a.max(), 30.0);
+}
+
+TEST(LatencyStat, ResetClears)
+{
+    LatencyStat s;
+    s.record(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SnapshotCounter, DeltaSemantics)
+{
+    SnapshotCounter c;
+    std::uint64_t prev = 0;
+    c.add(10);
+    EXPECT_EQ(c.delta(prev), 10u);
+    EXPECT_EQ(c.delta(prev), 0u);
+    c.add(5);
+    c.inc();
+    EXPECT_EQ(c.delta(prev), 6u);
+    EXPECT_EQ(c.value(), 16u);
+}
+
+TEST(SnapshotCounter, IndependentSnapshots)
+{
+    SnapshotCounter c;
+    std::uint64_t a = 0, b = 0;
+    c.add(100);
+    EXPECT_EQ(c.delta(a), 100u);
+    c.add(50);
+    EXPECT_EQ(c.delta(a), 50u);
+    EXPECT_EQ(c.delta(b), 150u); // b never sampled before
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const double mean = 250.0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.exponential(mean);
+    EXPECT_NEAR(sum / 20000.0, mean, mean * 0.05);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}

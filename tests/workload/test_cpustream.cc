@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the CPU access-stream workload (X-Mem / SPEC base):
+ * pattern correctness, cache-sensitivity behaviour, and the IPC
+ * proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/testbed.hh"
+#include "workload/cpustream.hh"
+#include "workload/spec.hh"
+#include "workload/xmem.hh"
+
+using namespace a4;
+
+namespace
+{
+
+ServerConfig
+smallCfg()
+{
+    ServerConfig cfg;
+    cfg.scale = 16;
+    return cfg;
+}
+
+CpuStreamWorkload &
+make(Testbed &bed, CpuStreamConfig cfg, unsigned cores = 1)
+{
+    auto w = std::make_unique<CpuStreamWorkload>(
+        "cpu", bed.allocWorkloadId(), bed.allocCores(cores),
+        bed.engine(), bed.cache(), bed.addrs(), cfg);
+    return bed.adopt(std::move(w));
+}
+
+} // namespace
+
+TEST(CpuStream, IssuesAccessesAtSteadyRate)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 64 * kKiB;
+    CpuStreamWorkload &w = make(bed, cfg);
+    w.start();
+    bed.run(5 * kMsec);
+    EXPECT_GT(w.ops().value(), 10000u);
+    EXPECT_GT(w.instructions().value(), 0u);
+    EXPECT_GT(w.cycles().value(), 0u);
+}
+
+TEST(CpuStream, TinyWorkingSetLivesInMlc)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 8 * kKiB; // far below the scaled 64 KiB MLC
+    cfg.pattern = CpuStreamConfig::Pattern::RandRead;
+    CpuStreamWorkload &w = make(bed, cfg);
+    w.start();
+    bed.run(5 * kMsec);
+
+    const auto &c = bed.cache().wlConst(w.id());
+    double mlc_hit_rate =
+        ratio(double(c.mlc_hit.value()),
+              double(c.mlc_hit.value() + c.mlc_miss.value()));
+    EXPECT_GT(mlc_hit_rate, 0.95);
+}
+
+TEST(CpuStream, HugeWorkingSetMissesEverywhere)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 16 * kMiB; // 10x the scaled LLC
+    cfg.pattern = CpuStreamConfig::Pattern::RandRead;
+    CpuStreamWorkload &w = make(bed, cfg);
+    w.start();
+    bed.run(10 * kMsec);
+
+    const auto &c = bed.cache().wlConst(w.id());
+    double llc_miss_rate =
+        ratio(double(c.llc_miss.value()),
+              double(c.llc_hit.value() + c.llc_miss.value()));
+    EXPECT_GT(llc_miss_rate, 0.9);
+}
+
+TEST(CpuStream, CacheFitWorkingSetHasGoodIpc)
+{
+    // IPC with a cache-resident working set must beat IPC with a
+    // memory-resident one (the sensitivity Fig. 11 relies on).
+    Testbed bed(smallCfg());
+    CpuStreamConfig small;
+    small.ws_bytes = 16 * kKiB;
+    CpuStreamWorkload &a = make(bed, small);
+
+    CpuStreamConfig big;
+    big.ws_bytes = 16 * kMiB;
+    big.pattern = CpuStreamConfig::Pattern::RandRead;
+    CpuStreamWorkload &b = make(bed, big);
+
+    a.start();
+    b.start();
+    bed.run(10 * kMsec);
+    EXPECT_GT(a.ipc(), b.ipc() * 1.5);
+}
+
+TEST(CpuStream, SeqWriteMakesDirtyLines)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 2 * kMiB; // overflows caches -> writebacks
+    cfg.pattern = CpuStreamConfig::Pattern::SeqWrite;
+    CpuStreamWorkload &w = make(bed, cfg);
+    w.start();
+    bed.run(10 * kMsec);
+    EXPECT_GT(bed.cache().wlConst(w.id()).mem_write_lines.value(), 0u);
+}
+
+TEST(CpuStream, MultiCoreSharesWorkingSet)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 256 * kKiB;
+    CpuStreamWorkload &w = make(bed, cfg, 2);
+    w.start();
+    bed.run(5 * kMsec);
+    // Both lanes run: ops from two cores exceed a single lane's rate.
+    EXPECT_GT(w.ops().value(), 20000u);
+}
+
+TEST(CpuStream, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Testbed bed(smallCfg());
+        CpuStreamConfig cfg;
+        cfg.ws_bytes = 128 * kKiB;
+        cfg.pattern = CpuStreamConfig::Pattern::RandRW;
+        CpuStreamWorkload &w = make(bed, cfg);
+        w.start();
+        bed.run(5 * kMsec);
+        return std::make_pair(w.ops().value(),
+                              bed.cache()
+                                  .wlConst(w.id())
+                                  .llc_miss.value());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(CpuStream, RejectsBadConfigs)
+{
+    Testbed bed(smallCfg());
+    CpuStreamConfig cfg;
+    cfg.ws_bytes = 1; // below one line
+    EXPECT_THROW(make(bed, cfg), FatalError);
+}
+
+TEST(Xmem, VariantsMatchTable3)
+{
+    CpuStreamConfig x1 = xmemConfig(1);
+    EXPECT_EQ(x1.ws_bytes, 4 * kMiB);
+    EXPECT_EQ(x1.pattern, CpuStreamConfig::Pattern::SeqRead);
+    CpuStreamConfig x2 = xmemConfig(2);
+    EXPECT_EQ(x2.pattern, CpuStreamConfig::Pattern::SeqWrite);
+    CpuStreamConfig x3 = xmemConfig(3);
+    EXPECT_EQ(x3.ws_bytes, 10 * kMiB);
+    EXPECT_EQ(x3.pattern, CpuStreamConfig::Pattern::RandRead);
+    EXPECT_THROW(xmemConfig(4), FatalError);
+}
+
+TEST(Spec, ProfilesExistAndScale)
+{
+    for (const std::string &name : specNames()) {
+        const SpecProfile &p = specProfile(name);
+        EXPECT_GT(p.ws_bytes, 0u) << name;
+        CpuStreamConfig cfg = specConfig(name, 4);
+        EXPECT_EQ(cfg.ws_bytes,
+                  std::max<std::uint64_t>(p.ws_bytes / 4, kLineBytes))
+            << name;
+    }
+    EXPECT_THROW(specProfile("nonexistent"), FatalError);
+}
+
+TEST(Spec, StreamingBenchmarksAreAntagonistShaped)
+{
+    // lbm must show near-total MLC+LLC miss rates (what A4's T5
+    // detector keys on); x264 must not.
+    Testbed bed(smallCfg());
+    CpuStreamConfig lbm = specConfig("lbm", bed.config().scale);
+    CpuStreamWorkload &w = make(bed, lbm);
+    w.start();
+    bed.run(10 * kMsec);
+    const auto &c = bed.cache().wlConst(w.id());
+    double mlc_miss =
+        ratio(double(c.mlc_miss.value()),
+              double(c.mlc_hit.value() + c.mlc_miss.value()));
+    EXPECT_GT(mlc_miss, 0.9);
+}

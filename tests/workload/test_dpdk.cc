@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the DPDK-T/NT workloads: the touch/no-touch cache
+ * footprint difference (§3.1's central mechanism) and latency
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/builders.hh"
+#include "harness/testbed.hh"
+
+using namespace a4;
+
+namespace
+{
+
+ServerConfig
+cfg16()
+{
+    ServerConfig cfg;
+    cfg.scale = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Dpdk, ProcessesPacketsAtLineRate)
+{
+    Testbed bed(cfg16());
+    NicConfig nc;
+    nc.offered_gbps = 40.0; // moderate load
+    DpdkWorkload &w = addDpdk(bed, "dpdk-t", true, nc);
+    w.start();
+    bed.run(20 * kMsec);
+
+    Nic &nic = w.nicDevice();
+    EXPECT_GT(w.ops().value(), 0u);
+    // All delivered packets eventually processed (no residual pileup).
+    EXPECT_NEAR(double(w.ops().value()),
+                double(nic.delivered().value()),
+                double(nic.delivered().value()) * 0.05);
+    EXPECT_EQ(nic.dropped().value(), 0u);
+}
+
+TEST(Dpdk, TouchBringsIoLinesIntoMlc)
+{
+    Testbed bed(cfg16());
+    DpdkWorkload &w = addDpdk(bed, "dpdk-t", true);
+    w.start();
+    bed.run(10 * kMsec);
+
+    const auto &c = bed.cache().wlConst(w.id());
+    EXPECT_GT(c.llc_hit.value(), 0u);       // payload hits in DCA ways
+    EXPECT_GT(c.migrated_inclusive.value(), 0u); // C1 migration
+}
+
+TEST(Dpdk, NoTouchLeavesMlcUntouched)
+{
+    Testbed bed(cfg16());
+    DpdkWorkload &w = addDpdk(bed, "dpdk-nt", false);
+    w.start();
+    bed.run(10 * kMsec);
+
+    const auto &c = bed.cache().wlConst(w.id());
+    // DPDK-NT performs no core accesses to packet data at all.
+    EXPECT_EQ(c.mlc_hit.value() + c.mlc_miss.value(), 0u);
+    EXPECT_EQ(c.migrated_inclusive.value(), 0u);
+    EXPECT_GT(w.ops().value(), 0u); // still drains the ring
+}
+
+TEST(Dpdk, LatencyIncludesWireAndService)
+{
+    Testbed bed(cfg16());
+    NicConfig nc;
+    nc.offered_gbps = 10.0;
+    DpdkWorkload &w = addDpdk(bed, "dpdk-t", true, nc);
+    w.start();
+    bed.run(10 * kMsec);
+
+    ASSERT_GT(w.latency().count(), 0u);
+    // Lower bound: the NIC wire latency alone.
+    EXPECT_GE(w.latency().min(), double(nc.wire_latency));
+    EXPECT_GE(w.latency().percentile(99), w.latency().mean());
+}
+
+TEST(Dpdk, OverloadSaturatesRingAndInflatesTail)
+{
+    // Service rate is driven far below the arrival rate by a huge
+    // per-packet CPU cost: the ring must fill, latency must approach
+    // ring_entries * service, and the NIC must drop.
+    Testbed bed(cfg16());
+    NicConfig nc;
+    nc.offered_gbps = 100.0;
+    Nic &nic = bed.addNic(nc);
+    DpdkConfig dc = scaledDpdkConfig(bed.config().scale, true);
+    dc.per_packet_cpu_ns = 50000.0;
+    auto wptr = std::make_unique<DpdkWorkload>(
+        "dpdk-slow", bed.allocWorkloadId(), bed.allocCores(4),
+        bed.engine(), bed.cache(), nic, dc);
+    DpdkWorkload &w = bed.adopt(std::move(wptr));
+    w.start();
+    bed.run(50 * kMsec);
+
+    EXPECT_GT(nic.dropped().value(), 0u);
+    EXPECT_GT(w.latency().percentile(99), 1000.0 * 100); // >> 100 us
+}
+
+TEST(Dpdk, CoreCountMustMatchQueues)
+{
+    Testbed bed(cfg16());
+    NicConfig nc;
+    Nic &nic = bed.addNic(nc);
+    EXPECT_THROW(DpdkWorkload("bad", 1, {0, 1}, bed.engine(),
+                              bed.cache(), nic, DpdkConfig{}),
+                 FatalError);
+}
+
+TEST(Fastclick, RecordsBreakdownAndForwards)
+{
+    Testbed bed(cfg16());
+    FastclickWorkload &w = addFastclick(bed, "fastclick");
+    w.start();
+    bed.run(10 * kMsec);
+
+    EXPECT_GT(w.nicToHost().count(), 0u);
+    EXPECT_GT(w.pointerAccess().count(), 0u);
+    EXPECT_GT(w.processing().count(), 0u);
+    // Every processed packet is transmitted (forwarding).
+    EXPECT_EQ(w.nicDevice().txPackets().value(), w.ops().value());
+    // Egress traffic flows on the same port.
+    EXPECT_GT(bed.pcie().port(w.ioPort()).egress_bytes.value(), 0u);
+}
+
+TEST(Fastclick, ResetWindowClearsBreakdown)
+{
+    Testbed bed(cfg16());
+    FastclickWorkload &w = addFastclick(bed, "fastclick");
+    w.start();
+    bed.run(5 * kMsec);
+    ASSERT_GT(w.nicToHost().count(), 0u);
+    w.resetWindow();
+    EXPECT_EQ(w.nicToHost().count(), 0u);
+    EXPECT_EQ(w.latency().count(), 0u);
+    bed.run(5 * kMsec);
+    EXPECT_GT(w.nicToHost().count(), 0u);
+}

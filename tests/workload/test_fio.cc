@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the FIO storage workload: closed-loop submission,
+ * consumption through the MLC, write mix (FFSB), and the latency
+ * breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/builders.hh"
+#include "harness/testbed.hh"
+#include "workload/ffsb.hh"
+
+using namespace a4;
+
+namespace
+{
+
+ServerConfig
+cfg16()
+{
+    ServerConfig cfg;
+    cfg.scale = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Fio, ClosedLoopKeepsDeviceBusy)
+{
+    Testbed bed(cfg16());
+    FioWorkload &fio = addFio(bed, "fio", 128 * kKiB);
+    fio.start();
+    bed.run(20 * kMsec);
+
+    EXPECT_GT(fio.ops().value(), 10u);
+    EXPECT_GT(bed.pcie().port(fio.ioPort()).ingress_bytes.value(),
+              fio.bytes().value() / 2);
+}
+
+TEST(Fio, ConsumptionGoesThroughMlc)
+{
+    Testbed bed(cfg16());
+    FioWorkload &fio = addFio(bed, "fio", 128 * kKiB);
+    fio.start();
+    bed.run(20 * kMsec);
+
+    const auto &c = bed.cache().wlConst(fio.id());
+    // Every block line is core-read exactly once per block cycle.
+    EXPECT_GT(c.mlc_miss.value(), 0u);
+    EXPECT_GT(c.llc_hit.value() + c.llc_miss.value(), 0u);
+}
+
+TEST(Fio, NoConsumeVariantSkipsCoreAccesses)
+{
+    Testbed bed(cfg16());
+    FioConfig cfg = scaledFioConfig(128 * kKiB, bed.config().scale);
+    cfg.consume = false;
+    FioWorkload &fio = addFioCustom(bed, "fio-raw", cfg);
+    fio.start();
+    bed.run(20 * kMsec);
+
+    const auto &c = bed.cache().wlConst(fio.id());
+    EXPECT_EQ(c.mlc_hit.value() + c.mlc_miss.value(), 0u);
+    EXPECT_GT(bed.pcie().port(fio.ioPort()).ingress_bytes.value(), 0u);
+}
+
+TEST(Fio, RecordsReadAndRegexLatency)
+{
+    Testbed bed(cfg16());
+    FioWorkload &fio = addFio(bed, "fio", 256 * kKiB);
+    fio.start();
+    bed.run(20 * kMsec);
+
+    EXPECT_GT(fio.readLatency().count(), 0u);
+    EXPECT_GT(fio.regexLatency().count(), 0u);
+    // Read latency must cover at least the flash overhead.
+    EXPECT_GE(fio.readLatency().min(), double(SsdConfig{}.cmd_overhead));
+}
+
+TEST(Fio, WriteMixIssuesDeviceWrites)
+{
+    Testbed bed(cfg16());
+    FioConfig cfg = scaledFioConfig(128 * kKiB, bed.config().scale);
+    cfg.write_mix = 0.5;
+    FioWorkload &fio = addFioCustom(bed, "fio-wr", cfg);
+    fio.start();
+    bed.run(40 * kMsec);
+
+    EXPECT_GT(fio.writeLatency().count(), 0u);
+    EXPECT_GT(bed.pcie().port(fio.ioPort()).egress_bytes.value(), 0u);
+}
+
+TEST(Fio, StopQuiesces)
+{
+    Testbed bed(cfg16());
+    FioWorkload &fio = addFio(bed, "fio", 128 * kKiB);
+    fio.start();
+    bed.run(10 * kMsec);
+    fio.stop();
+    std::uint64_t ops = fio.ops().value();
+    bed.run(20 * kMsec);
+    // At most the in-flight commands complete after stop.
+    EXPECT_LE(fio.ops().value(), ops + 256);
+}
+
+TEST(Fio, RejectsMismatchedCores)
+{
+    Testbed bed(cfg16());
+    SsdArray &ssd = bed.addSsd(SsdConfig{});
+    FioConfig cfg;
+    cfg.num_jobs = 4;
+    EXPECT_THROW(FioWorkload("bad", 1, {0}, bed.engine(), bed.cache(),
+                             bed.addrs(), ssd, cfg),
+                 FatalError);
+}
+
+TEST(Ffsb, ConfigurationsMatchTable2)
+{
+    FioConfig h = ffsbHeavyConfig();
+    EXPECT_EQ(h.num_jobs, 3u);
+    EXPECT_EQ(h.block_bytes, 2 * kMiB);
+    EXPECT_GT(h.write_mix, 0.0);
+
+    FioConfig l = ffsbLightConfig();
+    EXPECT_EQ(l.num_jobs, 1u);
+    EXPECT_EQ(l.block_bytes, 32 * kKiB);
+
+    FioConfig h4 = ffsbHeavyConfig(4);
+    EXPECT_EQ(h4.block_bytes, 512 * kKiB);
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the PCM monitor facade: snapshot-delta semantics,
+ * rate derivation, and independence of multiple monitors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/testbed.hh"
+#include "pcm/monitor.hh"
+
+using namespace a4;
+
+namespace
+{
+
+ServerConfig
+cfg16()
+{
+    ServerConfig cfg;
+    cfg.scale = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Pcm, WorkloadDeltasAreIntervalScoped)
+{
+    Testbed bed(cfg16());
+    PcmMonitor mon = bed.makeMonitor();
+
+    bed.cache().wl(1).llc_hit.add(100);
+    WorkloadSample s1 = mon.sampleWorkload(1);
+    EXPECT_EQ(s1.llc_hit, 100u);
+
+    WorkloadSample s2 = mon.sampleWorkload(1);
+    EXPECT_EQ(s2.llc_hit, 0u);
+
+    bed.cache().wl(1).llc_hit.add(50);
+    bed.cache().wl(1).llc_miss.add(50);
+    WorkloadSample s3 = mon.sampleWorkload(1);
+    EXPECT_EQ(s3.llc_hit, 50u);
+    EXPECT_DOUBLE_EQ(s3.llcHitRate(), 0.5);
+}
+
+TEST(Pcm, MonitorsAreIndependent)
+{
+    Testbed bed(cfg16());
+    PcmMonitor a = bed.makeMonitor();
+    PcmMonitor b = bed.makeMonitor();
+
+    bed.cache().wl(2).llc_miss.add(10);
+    EXPECT_EQ(a.sampleWorkload(2).llc_miss, 10u);
+    EXPECT_EQ(b.sampleWorkload(2).llc_miss, 10u); // unaffected by a
+    EXPECT_EQ(a.sampleWorkload(2).llc_miss, 0u);
+}
+
+TEST(Pcm, SystemSampleDerivesBandwidth)
+{
+    Testbed bed(cfg16());
+    PcmMonitor mon = bed.makeMonitor();
+    mon.sampleSystem();
+
+    bed.dram().readBulk(0, 1 * kMiB);
+    bed.engine().runFor(1 * kMsec);
+    SystemSample s = mon.sampleSystem();
+    EXPECT_EQ(s.mem_rd_bytes, 1 * kMiB);
+    EXPECT_EQ(s.interval_ns, 1 * kMsec);
+    EXPECT_NEAR(s.memReadBwBps(), double(kMiB) * 1000.0, 1.0);
+}
+
+TEST(Pcm, IngressShareAcrossPorts)
+{
+    Testbed bed(cfg16());
+    PortId p0 = bed.pcie().addPort("nic", DeviceClass::Network);
+    PortId p1 = bed.pcie().addPort("ssd", DeviceClass::Storage);
+
+    PcmMonitor mon = bed.makeMonitor();
+    mon.sampleSystem();
+
+    bed.pcie().port(p0).ingress_bytes.add(300);
+    bed.pcie().port(p1).ingress_bytes.add(700);
+    SystemSample s = mon.sampleSystem();
+    EXPECT_DOUBLE_EQ(s.ingressShare(p0), 0.3);
+    EXPECT_DOUBLE_EQ(s.ingressShare(p1), 0.7);
+    EXPECT_EQ(s.totalIngress(), 1000u);
+    EXPECT_EQ(s.ports[p1].dev_class, DeviceClass::Storage);
+}
+
+TEST(Pcm, SampleRatesHandleZeroDenominators)
+{
+    WorkloadSample s;
+    EXPECT_DOUBLE_EQ(s.llcHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mlcMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.dcaMissRate(), 0.0);
+    SystemSample sys;
+    EXPECT_DOUBLE_EQ(sys.memReadBwBps(), 0.0);
+    EXPECT_DOUBLE_EQ(sys.ingressShare(0), 0.0);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the Redis server/client pair and the YCSB zipfian
+ * generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/builders.hh"
+#include "harness/testbed.hh"
+#include "workload/ycsb.hh"
+
+using namespace a4;
+
+namespace
+{
+
+ServerConfig
+cfg16()
+{
+    ServerConfig cfg;
+    cfg.scale = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Zipfian, StaysInRange)
+{
+    ZipfianGenerator gen(1000, 0.99, 1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(gen.next(), 1000u);
+}
+
+TEST(Zipfian, HotKeysDominate)
+{
+    ZipfianGenerator gen(100000, 0.99, 2);
+    std::uint64_t top10 = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (gen.next() < 10)
+            ++top10;
+    }
+    // With theta=0.99 over 100k keys the ten hottest ranks draw
+    // roughly a fifth of all requests.
+    EXPECT_GT(double(top10) / n, 0.18);
+}
+
+TEST(Zipfian, ScrambleSpreadsHotKeys)
+{
+    ZipfianGenerator gen(100000, 0.99, 3);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[gen.nextScrambled()];
+    // The hottest scrambled key is no longer key 0, but some key is
+    // still clearly hottest (skew preserved).
+    int max_count = 0;
+    for (auto &[k, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 1000);
+}
+
+TEST(Zipfian, RejectsEmptyKeySpace)
+{
+    EXPECT_THROW(ZipfianGenerator(0), FatalError);
+}
+
+TEST(Redis, ServesClientRequests)
+{
+    Testbed bed(cfg16());
+    auto [server, client] = addRedis(bed);
+    server.start();
+    client.start();
+    bed.run(20 * kMsec);
+
+    EXPECT_GT(client.ops().value(), 1000u);
+    EXPECT_GT(server.ops().value(), 1000u);
+    // Server lags the client by at most the queue bound.
+    EXPECT_LE(server.ops().value(), client.ops().value());
+    EXPECT_GT(server.latency().count(), 0u);
+}
+
+TEST(Redis, BackpressureBoundsQueue)
+{
+    Testbed bed(cfg16());
+    RedisConfig cfg = scaledRedisConfig(bed.config().scale);
+    cfg.max_queue = 64;
+    cfg.server_cpu_ns_per_op = 100000; // glacial server
+    auto srv = std::make_unique<RedisServer>(
+        "redis-s", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), cfg);
+    RedisServer &server = bed.adopt(std::move(srv));
+    auto cli = std::make_unique<RedisClient>(
+        "redis-c", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), server, cfg);
+    RedisClient &client = bed.adopt(std::move(cli));
+
+    server.start();
+    client.start();
+    bed.run(20 * kMsec);
+    EXPECT_LE(server.queueDepth(), 64u);
+}
+
+TEST(Redis, TouchesStoreMemory)
+{
+    Testbed bed(cfg16());
+    auto [server, client] = addRedis(bed);
+    server.start();
+    client.start();
+    bed.run(20 * kMsec);
+
+    const auto &c = bed.cache().wlConst(server.id());
+    // The value heap exceeds the scaled MLC: real cache traffic.
+    EXPECT_GT(c.mlc_miss.value(), 0u);
+    // Updates dirty lines that eventually write back.
+    EXPECT_GT(c.mem_write_lines.value() + c.mem_read_lines.value(), 0u);
+}
+
+TEST(Redis, UpdateHeavyMixGeneratesWrites)
+{
+    Testbed bed(cfg16());
+    RedisConfig cfg = scaledRedisConfig(bed.config().scale);
+    cfg.read_ratio = 0.0; // all updates
+    auto srv = std::make_unique<RedisServer>(
+        "redis-s", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), cfg);
+    RedisServer &server = bed.adopt(std::move(srv));
+    auto cli = std::make_unique<RedisClient>(
+        "redis-c", bed.allocWorkloadId(), bed.allocCores(1)[0],
+        bed.engine(), bed.cache(), bed.addrs(), server, cfg);
+    RedisClient &client = bed.adopt(std::move(cli));
+
+    server.start();
+    client.start();
+    bed.run(20 * kMsec);
+    EXPECT_GT(bed.cache().wlConst(server.id()).mem_write_lines.value(),
+              0u);
+}
