@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: Release build with -Werror, full test suite with
+# per-test timeouts (registered by tests/CMakeLists.txt) so a wedged
+# test fails the run fast instead of hanging it.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DA4_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -j "$JOBS" \
+  --output-on-failure \
+  --stop-on-failure
+
+echo "CI OK"

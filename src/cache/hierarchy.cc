@@ -37,59 +37,6 @@ CacheSystem::CacheSystem(const CacheGeometry &g, const CacheLatencies &l,
     wl_stats.resize(16);
 }
 
-// --- indexing --------------------------------------------------------------
-
-std::uint64_t
-CacheSystem::mix(std::uint64_t x)
-{
-    // splitmix64 finalizer; stands in for the slice/index hash.
-    x ^= x >> 30;
-    x *= 0xBF58476D1CE4E5B9ull;
-    x ^= x >> 27;
-    x *= 0x94D049BB133111EBull;
-    x ^= x >> 31;
-    return x;
-}
-
-unsigned
-CacheSystem::llcSetOf(Addr line) const
-{
-    return static_cast<unsigned>(
-        (static_cast<unsigned __int128>(mix(line)) * geom.llc_sets) >> 64);
-}
-
-unsigned
-CacheSystem::mlcSetOf(Addr line) const
-{
-    return static_cast<unsigned>(
-        (static_cast<unsigned __int128>(mix(line ^ 0xA4A4'5EED'0000'0001ull))
-         * geom.mlc_sets) >> 64);
-}
-
-int
-CacheSystem::llcFindWay(unsigned set, Addr line) const
-{
-    const std::uint64_t *base = &llc_tags[llcIdx(set, 0)];
-    const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
-    for (unsigned w = 0; w < geom.llc_ways; ++w) {
-        if ((base[w] & kMatchMask) == want)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-int
-CacheSystem::mlcFindWay(CoreId core, unsigned set, Addr line) const
-{
-    const std::uint64_t *base = &mlc_tags[mlcIdx(core, set, 0)];
-    const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
-    for (unsigned w = 0; w < geom.mlc_ways; ++w) {
-        if ((base[w] & kMatchMask) == want)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
 void
 CacheSystem::touchLlc(unsigned set, unsigned way)
 {

@@ -174,14 +174,63 @@ class CacheSystem
     static Addr lineOfEntry(std::uint64_t e) { return e & kAddrMask; }
 
     // --- indexing ---------------------------------------------------------
-    static std::uint64_t mix(std::uint64_t x);
-    unsigned llcSetOf(Addr line) const;
-    unsigned mlcSetOf(Addr line) const;
+    // Inlined: set hashing + tag scan are the fast path of every
+    // simulated access (MLC hits resolve to one hash + one scan).
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        // splitmix64 finalizer; stands in for the slice/index hash.
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        x ^= x >> 31;
+        return x;
+    }
+
+    unsigned
+    llcSetOf(Addr line) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<unsigned __int128>(mix(line)) * geom.llc_sets)
+            >> 64);
+    }
+
+    unsigned
+    mlcSetOf(Addr line) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<unsigned __int128>(
+                 mix(line ^ 0xA4A4'5EED'0000'0001ull)) *
+             geom.mlc_sets) >> 64);
+    }
 
     /** Way index of @p line in LLC set @p set, or -1. */
-    int llcFindWay(unsigned set, Addr line) const;
+    int
+    llcFindWay(unsigned set, Addr line) const
+    {
+        const std::uint64_t *base = &llc_tags[llcIdx(set, 0)];
+        const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
+        for (unsigned w = 0; w < geom.llc_ways; ++w) {
+            if ((base[w] & kMatchMask) == want)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
     /** Way index of @p line in core's MLC set, or -1. */
-    int mlcFindWay(CoreId core, unsigned set, Addr line) const;
+    int
+    mlcFindWay(CoreId core, unsigned set, Addr line) const
+    {
+        const std::uint64_t *base = &mlc_tags[mlcIdx(core, set, 0)];
+        const std::uint64_t want = (line & kAddrMask) | kValidEntryBit;
+        for (unsigned w = 0; w < geom.mlc_ways; ++w) {
+            if ((base[w] & kMatchMask) == want)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
 
     std::size_t llcIdx(unsigned set, unsigned way) const
     {

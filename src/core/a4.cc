@@ -90,7 +90,9 @@ A4Manager::start()
     if (running)
         return;
     running = true;
-    eng.schedule(prm.monitor_interval, [this] { periodic(); });
+    if (!periodic_ev.initialized())
+        periodic_ev.init(eng, [this] { periodic(); });
+    periodic_ev.arm(prm.monitor_interval);
 }
 
 void
@@ -99,7 +101,7 @@ A4Manager::periodic()
     if (!running)
         return;
     tick();
-    eng.schedule(prm.monitor_interval, [this] { periodic(); });
+    periodic_ev.arm(prm.monitor_interval);
 }
 
 void

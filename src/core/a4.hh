@@ -115,7 +115,14 @@ class A4Manager
     void start();
 
     /** Stop the daemon (allocations stay as they are). */
-    void stop() { running = false; }
+    void
+    stop()
+    {
+        running = false;
+        // Drop the queued firing so a stop()/start() cycle within one
+        // interval cannot leave two periodic chains interleaved.
+        periodic_ev.cancel();
+    }
 
     /**
      * One monitoring step. Normally driven by the engine; exposed so
@@ -187,6 +194,7 @@ class A4Manager
     bool running = false;
     bool layout_dirty = true;
     unsigned tick_count = 0;
+    Engine::Recurring periodic_ev;
 
     // LP Zone bounds (way indices, inclusive).
     unsigned lp_lo = 9, lp_hi = 10;

@@ -26,6 +26,7 @@ Nic::Nic(Engine &eng_, DmaEngine &dma_, AddressMap &addrs, PortId port_,
         queues[q].slots.resize(cfg.ring_entries);
         for (unsigned s = 0; s < cfg.ring_entries; ++s)
             queues[q].slots[s] = base + std::uint64_t(s) * slot_bytes;
+        queues[q].arrive_ev.init(eng, [this, q] { arrive(q); });
     }
 }
 
@@ -63,7 +64,7 @@ Nic::interarrival()
 void
 Nic::scheduleArrival(unsigned q)
 {
-    eng.schedule(interarrival(), [this, q] { arrive(q); });
+    queues[q].arrive_ev.arm(interarrival());
 }
 
 void

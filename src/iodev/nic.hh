@@ -96,6 +96,7 @@ class Nic
         unsigned next_slot = 0;
         WorkloadId owner = kNoWorkload;
         CoreId consumer = 0;
+        Engine::Recurring arrive_ev; ///< next-arrival actor
     };
 
     void scheduleArrival(unsigned q);

@@ -58,14 +58,26 @@ SsdArray::startCommand(Command cmd)
     link_free_at = link_start + static_cast<Tick>(transfer_ns) + 1;
     Tick completion = link_free_at;
 
-    eng.scheduleAt(completion, [this, c = std::move(cmd)]() mutable {
-        complete(c);
-    });
+    // Park the command in a recycled in-flight slot; the completion
+    // event carries only the slot index (events store captures in
+    // fixed-size slabs, and a Command is far too big).
+    std::uint32_t slot;
+    if (free_slots.empty()) {
+        slot = static_cast<std::uint32_t>(inflight.size());
+        inflight.push_back(std::move(cmd));
+    } else {
+        slot = free_slots.back();
+        free_slots.pop_back();
+        inflight[slot] = std::move(cmd);
+    }
+    eng.scheduleAt(completion, [this, slot] { complete(slot); });
 }
 
 void
-SsdArray::complete(Command &cmd)
+SsdArray::complete(std::uint32_t slot)
 {
+    Command cmd = std::move(inflight[slot]);
+    free_slots.push_back(slot);
     --active;
     if (cmd.is_read) {
         dma.write(eng.now(), port, cmd.buf, cmd.bytes, cmd.owner,

@@ -92,7 +92,7 @@ class SsdArray
 
     void tryStart();
     void startCommand(Command cmd);
-    void complete(Command &cmd);
+    void complete(std::uint32_t slot);
 
     Engine &eng;
     DmaEngine &dma;
@@ -100,6 +100,10 @@ class SsdArray
     SsdConfig cfg;
 
     std::deque<Command> queue;
+    /** In-flight commands live in recycled slots so the completion
+     *  event captures a 4-byte index instead of the whole Command. */
+    std::vector<Command> inflight;
+    std::vector<std::uint32_t> free_slots;
     unsigned active = 0;
     Tick link_free_at = 0;
 

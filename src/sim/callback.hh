@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size, type-erased `void()` callable for the event engine.
+ *
+ * Replaces std::function in the event hot path: the capture is stored
+ * inline (never on the heap) and over-sized captures are rejected at
+ * compile time, which keeps every event-slab slot flat and
+ * cache-resident. Actors that need bulky per-event state keep it in
+ * their own structures and capture an index instead (see SsdArray's
+ * in-flight command slots).
+ */
+
+#ifndef A4_SIM_CALLBACK_HH
+#define A4_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace a4
+{
+
+/** Inline-storage callable taking no arguments and returning void. */
+class InlineCallback
+{
+  public:
+    /** Bytes of inline capture storage per callback. */
+    static constexpr std::size_t kCaptureBytes = 48;
+
+    InlineCallback() = default;
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+    ~InlineCallback() { destroy(); }
+
+    /** Install @p fn, destroying any previously stored callable. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCaptureBytes,
+                      "callback capture too large for an event slot; "
+                      "keep the state in the actor and capture an index");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "callback capture over-aligned");
+        destroy();
+        ::new (static_cast<void *>(buf)) Fn(std::forward<F>(fn));
+        invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+        if constexpr (!std::is_trivially_destructible_v<Fn>)
+            drop_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        else
+            drop_ = nullptr;
+    }
+
+    /** True once emplace() has installed a callable. */
+    bool armed() const { return invoke_ != nullptr; }
+
+    /** Call the stored callable (must be armed). */
+    void invoke() { invoke_(buf); }
+
+    /** Destroy the stored capture (idempotent; leaves unarmed). */
+    void
+    destroy()
+    {
+        if (drop_)
+            drop_(buf);
+        invoke_ = nullptr;
+        drop_ = nullptr;
+    }
+
+  private:
+    using ThunkFn = void (*)(void *);
+
+    alignas(std::max_align_t) unsigned char buf[kCaptureBytes];
+    ThunkFn invoke_ = nullptr;
+    ThunkFn drop_ = nullptr;
+};
+
+} // namespace a4
+
+#endif // A4_SIM_CALLBACK_HH

@@ -6,29 +6,63 @@ namespace a4
 {
 
 void
-Engine::schedule(Tick delay, Callback fn)
+Engine::growSlab()
 {
-    scheduleAt(now_ + delay, std::move(fn));
+    auto chunk = std::make_unique<Slot[]>(kChunkSlots);
+    // Link the fresh chunk into the free list in index order.
+    for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+        chunk[i].next_free =
+            i + 1 < kChunkSlots ? &chunk[i + 1] : free_head;
+    }
+    free_head = &chunk[0];
+    chunks.push_back(std::move(chunk));
+    slot_count += kChunkSlots;
 }
 
-void
-Engine::scheduleAt(Tick when, Callback fn)
+Tick
+Engine::checkWhen(Tick when)
 {
-    if (when < now_)
-        when = now_;
-    queue.push(Event{when, next_seq++, std::move(fn)});
+    if (when < now_) [[unlikely]] {
+        ++past_events;
+#ifndef NDEBUG
+        panic(sformat("Engine: event scheduled %llu ticks in the past "
+                      "(when=%llu, now=%llu)",
+                      static_cast<unsigned long long>(now_ - when),
+                      static_cast<unsigned long long>(when),
+                      static_cast<unsigned long long>(now_)));
+#endif
+        return now_;
+    }
+    return when;
 }
 
 void
 Engine::runUntil(Tick when)
 {
-    while (!queue.empty() && queue.top().when <= when) {
-        // Copy out before pop so the callback may schedule freely.
-        Event ev = queue.top();
-        queue.pop();
-        now_ = ev.when;
+    while (has_front && whenOf(front) <= when) {
+        const QueuedEvent ev = front;
+        // Refill the front cache from the heap before running the
+        // callback; anything it schedules re-enters through enqueue().
+        if (!queue.empty()) {
+            front = queue.top();
+            queue.pop();
+        } else {
+            has_front = false;
+        }
+        Slot &s = *ev.slot;
+        if (s.gen != ev.gen)
+            continue; // cancelled or re-initialised since queuing
+        now_ = whenOf(ev);
         ++fired;
-        ev.fn();
+        // Invoke in place: chunked storage keeps the capture's address
+        // stable even if the callback grows the slab by scheduling.
+        s.cb.invoke();
+        // The generation re-check makes Recurring::reset() (or
+        // re-init()) from inside the slot's own callback safe: the
+        // callback already freed the slot, so freeing it again here
+        // would corrupt the free list.
+        if (!s.sticky && s.gen == ev.gen)
+            freeSlot(s);
     }
     if (now_ < when)
         now_ = when;

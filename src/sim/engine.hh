@@ -3,18 +3,30 @@
  * Discrete-event simulation engine.
  *
  * A single-threaded event queue keyed by (tick, sequence). Actors
- * (device models, workload cores, the A4 daemon) schedule closures;
+ * (device models, workload cores, the A4 daemon) schedule callables;
  * ties are broken by insertion order so runs are fully deterministic.
+ *
+ * Hot-path design: events live in a slab of fixed-size slots (inline
+ * callback storage, no per-event heap allocation) carved out of
+ * stable chunks, and the priority queue orders slim POD entries whose
+ * (tick, sequence) ordering is packed into one 128-bit key so heap
+ * sifts cost a single compare. Self-rescheduling actors use
+ * Engine::Recurring, which installs its callback once and re-arms the
+ * same slot, so steady-state actors never re-construct closures.
+ * Slots carry a generation counter: cancelling or re-initialising an
+ * event invalidates its queued firings without touching the queue.
  */
 
 #ifndef A4_SIM_ENGINE_HH
 #define A4_SIM_ENGINE_HH
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace a4
@@ -24,18 +36,34 @@ namespace a4
 class Engine
 {
   public:
-    using Callback = std::function<void()>;
-
-    Engine() : now_(0), next_seq(0) {}
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Schedule @p fn to fire @p delay ticks from now. */
-    void schedule(Tick delay, Callback fn);
+    template <typename F>
+    void
+    schedule(Tick delay, F &&fn)
+    {
+        push(now_ + delay, std::forward<F>(fn));
+    }
 
-    /** Schedule @p fn at absolute tick @p when (clamped to now). */
-    void scheduleAt(Tick when, Callback fn);
+    /**
+     * Schedule @p fn at absolute tick @p when.
+     *
+     * Scheduling into the past is an actor bug: it panics in debug
+     * builds; release builds clamp to now() and count the occurrence
+     * (see pastEvents()) so the slip cannot hide as reordering.
+     */
+    template <typename F>
+    void
+    scheduleAt(Tick when, F &&fn)
+    {
+        push(checkWhen(when), std::forward<F>(fn));
+    }
 
     /** Run events until the queue is empty or @p when is reached.
      *  Time is advanced to @p when even if the queue drains early. */
@@ -47,32 +75,222 @@ class Engine
     /** Number of events executed so far (for microbenchmarks). */
     std::uint64_t eventsFired() const { return fired; }
 
-    /** Pending event count. */
-    std::size_t pending() const { return queue.size(); }
+    /** Queued event count (cancelled firings are reaped lazily and
+     *  may be briefly included). */
+    std::size_t
+    pending() const
+    {
+        return queue.size() + (has_front ? 1 : 0);
+    }
+
+    /** Past-dated scheduleAt() occurrences clamped to now(). */
+    std::uint64_t pastEvents() const { return past_events; }
+
+    /** @name Event-slab introspection (pool regression tests). @{ */
+    /** Slots ever allocated (high-water mark of concurrent events). */
+    std::size_t slabSlots() const { return slot_count; }
+    /** Backing chunks allocated (slot_count / chunk size). */
+    std::size_t slabChunks() const { return chunks.size(); }
+    /** @} */
+
+    class Recurring;
 
   private:
-    struct Event
+    static constexpr std::uint32_t kChunkSlots = 256;
+
+    /** One slab slot: the callback plus pool bookkeeping. */
+    struct Slot
     {
-        Tick when;
-        std::uint64_t seq;
-        Callback fn;
+        InlineCallback cb;
+        Slot *next_free = nullptr;
+        std::uint32_t gen = 0;
+        bool sticky = false; ///< recurring slot: survives firing
+    };
+
+    /** Priority-queue entry: one-compare key + slot reference. */
+    struct QueuedEvent
+    {
+        unsigned __int128 key; ///< (when << 64) | sequence
+        Slot *slot;
+        std::uint32_t gen;
     };
 
     struct Later
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const QueuedEvent &a, const QueuedEvent &b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            return a.key > b.key;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue;
-    Tick now_;
-    std::uint64_t next_seq;
+    static Tick whenOf(const QueuedEvent &ev)
+    {
+        return static_cast<Tick>(ev.key >> 64);
+    }
+
+    unsigned __int128
+    makeKey(Tick when)
+    {
+        return (static_cast<unsigned __int128>(when) << 64) |
+               next_seq++;
+    }
+
+    Slot &
+    allocSlot()
+    {
+        if (free_head == nullptr)
+            growSlab();
+        Slot &s = *free_head;
+        free_head = s.next_free;
+        return s;
+    }
+
+    void
+    freeSlot(Slot &s)
+    {
+        s.cb.destroy();
+        ++s.gen;
+        s.sticky = false;
+        s.next_free = free_head;
+        free_head = &s;
+    }
+
+    void growSlab();
+    Tick checkWhen(Tick when);
+
+    /**
+     * Enqueue keeping the invariant that `front` holds the minimum
+     * pending event. Self-rescheduling actors almost always schedule
+     * the next-soonest event, so the common case never touches the
+     * heap at all (the "front cache" trick from classic DES kernels).
+     */
+    void
+    enqueue(const QueuedEvent &ev)
+    {
+        if (!has_front) {
+            front = ev;
+            has_front = true;
+        } else if (ev.key < front.key) {
+            queue.push(front);
+            front = ev;
+        } else {
+            queue.push(ev);
+        }
+    }
+
+    template <typename F>
+    void
+    push(Tick when, F &&fn)
+    {
+        Slot &s = allocSlot();
+        s.cb.emplace(std::forward<F>(fn));
+        enqueue(QueuedEvent{makeKey(when), &s, s.gen});
+    }
+
+    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later>
+        queue;
+    QueuedEvent front{};      ///< minimum pending event (cache)
+    bool has_front = false;
+    // Chunked so slot addresses stay stable while callbacks run
+    // (a firing callback may grow the slab by scheduling).
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    Slot *free_head = nullptr;
+    std::size_t slot_count = 0;
+
+    Tick now_ = 0;
+    std::uint64_t next_seq = 0;
     std::uint64_t fired = 0;
+    std::uint64_t past_events = 0;
+};
+
+/**
+ * A repeating event: the callback is installed once and re-armed by
+ * slot, so steady-state actors (poll loops, batch runners, periodic
+ * daemons) never re-create closures on the hot path.
+ *
+ * The handle owns a pinned slab slot. arm()/armAt() queue the next
+ * firing; the callback itself decides whether to re-arm, so stopping
+ * an actor is just "don't re-arm" (or cancel() to drop already-queued
+ * firings). Arming twice queues two firings. Movable, not copyable;
+ * the slot generation guarantees queued firings never outlive the
+ * callback, even across cancel()/re-init().
+ */
+class Engine::Recurring
+{
+  public:
+    Recurring() = default;
+
+    Recurring(Recurring &&o) noexcept : eng_(o.eng_), slot_(o.slot_)
+    {
+        o.eng_ = nullptr;
+        o.slot_ = nullptr;
+    }
+
+    Recurring &
+    operator=(Recurring &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            eng_ = std::exchange(o.eng_, nullptr);
+            slot_ = std::exchange(o.slot_, nullptr);
+        }
+        return *this;
+    }
+
+    Recurring(const Recurring &) = delete;
+    Recurring &operator=(const Recurring &) = delete;
+
+    ~Recurring() { reset(); }
+
+    /** Install @p fn on @p eng (replacing any previous callback). */
+    template <typename F>
+    void
+    init(Engine &eng, F &&fn)
+    {
+        reset();
+        eng_ = &eng;
+        slot_ = &eng.allocSlot();
+        slot_->cb.emplace(std::forward<F>(fn));
+        slot_->sticky = true;
+    }
+
+    bool initialized() const { return slot_ != nullptr; }
+
+    /** Queue the next firing @p delay ticks from now. */
+    void arm(Tick delay) { armAt(eng_->now_ + delay); }
+
+    /** Queue the next firing at absolute tick @p when. */
+    void
+    armAt(Tick when)
+    {
+        eng_->enqueue(QueuedEvent{eng_->makeKey(
+                                      eng_->checkWhen(when)),
+                                  slot_, slot_->gen});
+    }
+
+    /** Invalidate queued firings (the callback stays installed). */
+    void
+    cancel()
+    {
+        if (slot_ != nullptr)
+            ++slot_->gen;
+    }
+
+    /** Drop the callback and release the slot. */
+    void
+    reset()
+    {
+        if (slot_ != nullptr) {
+            eng_->freeSlot(*slot_);
+            eng_ = nullptr;
+            slot_ = nullptr;
+        }
+    }
+
+  private:
+    Engine *eng_ = nullptr;
+    Slot *slot_ = nullptr;
 };
 
 } // namespace a4

@@ -28,6 +28,7 @@ CpuStreamWorkload::CpuStreamWorkload(std::string name, WorkloadId id,
         // the shared working set (threaded X-Mem behaviour).
         lanes[i].pos = (ws_lines / cores().size()) * i;
         lanes[i].rng = Rng(cfg.seed + 0x1000 * (i + 1));
+        lanes[i].batch_ev.init(eng, [this, i] { runBatch(unsigned(i)); });
     }
 }
 
@@ -38,7 +39,7 @@ CpuStreamWorkload::start()
         return;
     active_ = true;
     for (unsigned i = 0; i < lanes.size(); ++i)
-        eng.schedule(i + 1, [this, i] { runBatch(i); });
+        lanes[i].batch_ev.arm(i + 1);
 }
 
 Addr
@@ -108,8 +109,7 @@ CpuStreamWorkload::runBatch(unsigned lane_idx)
     retire(cfg.batch * (cfg.instr_per_access + 1.0), busy_ns,
            cfg.freq_ghz);
 
-    eng.schedule(static_cast<Tick>(busy_ns) + 1,
-                 [this, lane_idx] { runBatch(lane_idx); });
+    lane.batch_ev.arm(static_cast<Tick>(busy_ns) + 1);
 }
 
 } // namespace a4

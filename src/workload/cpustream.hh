@@ -76,6 +76,7 @@ class CpuStreamWorkload : public Workload
         std::uint64_t pos = 0;
         Rng rng{1};
         bool write_toggle = false;
+        Engine::Recurring batch_ev; ///< self-rescheduling batch actor
     };
     std::vector<Lane> lanes;
 };

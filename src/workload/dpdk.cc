@@ -14,8 +14,11 @@ DpdkWorkload::DpdkWorkload(std::string name, WorkloadId id,
 {
     if (cores().size() != nic.config().num_queues)
         fatal("DpdkWorkload: core count must match NIC queue count");
-    for (unsigned q = 0; q < cores().size(); ++q)
+    poll_ev.resize(cores().size());
+    for (unsigned q = 0; q < cores().size(); ++q) {
         nic.attachConsumer(q, this->id(), cores()[q]);
+        poll_ev[q].init(eng, [this, q] { poll(q); });
+    }
 }
 
 void
@@ -26,7 +29,7 @@ DpdkWorkload::start()
     active_ = true;
     nic.start();
     for (unsigned q = 0; q < cores().size(); ++q)
-        eng.schedule(q + 1, [this, q] { poll(q); });
+        poll_ev[q].arm(q + 1);
 }
 
 double
@@ -75,7 +78,7 @@ DpdkWorkload::poll(unsigned q)
     }
 
     Tick next = n ? static_cast<Tick>(busy_ns) + 1 : cfg.idle_poll_ns;
-    eng.schedule(next, [this, q] { poll(q); });
+    poll_ev[q].arm(next);
 }
 
 } // namespace a4

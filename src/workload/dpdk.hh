@@ -71,6 +71,8 @@ class DpdkWorkload : public Workload
 
   private:
     void poll(unsigned q);
+
+    std::vector<Engine::Recurring> poll_ev; ///< one poll actor per queue
 };
 
 } // namespace a4

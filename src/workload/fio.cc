@@ -27,6 +27,13 @@ FioWorkload::FioWorkload(std::string name, WorkloadId id,
                             sformat("%s.j%u.buf%u",
                                     this->name().c_str(), j, b));
         }
+        jobs[j].pump_ev.init(eng, [this, j] {
+            jobs[j].pump_scheduled = false;
+            consumeNext(j);
+        });
+        jobs[j].consume_done_ev.init(eng, [this, j] {
+            onConsumeDone(j);
+        });
     }
 }
 
@@ -80,10 +87,7 @@ FioWorkload::schedulePump(unsigned job, Tick delay)
     if (j.pump_scheduled || j.consuming)
         return;
     j.pump_scheduled = true;
-    eng.schedule(delay, [this, job] {
-        jobs[job].pump_scheduled = false;
-        consumeNext(job);
-    });
+    j.pump_ev.arm(delay);
 }
 
 void
@@ -101,6 +105,7 @@ FioWorkload::consumeNext(unsigned job)
     j.consuming = true;
     unsigned buf = j.completed.front();
     j.completed.pop_front();
+    j.consume_buf = buf;
 
     // Regex-scan every line of the block (brought through the MLC).
     const Addr base = j.buffers[buf].base;
@@ -114,16 +119,21 @@ FioWorkload::consumeNext(unsigned job)
     regex_lat.record(svc);
     retire(lines * 6.0, svc, 2.3);
 
-    eng.schedule(static_cast<Tick>(svc) + 1, [this, job, buf] {
-        Job &jj = jobs[job];
-        ops_.inc();
-        bytes_.add(cfg.block_bytes);
-        lat_.record(static_cast<double>(
-            eng.now() - jj.buffers[buf].submit_time));
-        finishBlock(job, buf);
-        jj.consuming = false;
-        consumeNext(job);
-    });
+    j.consume_done_ev.arm(static_cast<Tick>(svc) + 1);
+}
+
+void
+FioWorkload::onConsumeDone(unsigned job)
+{
+    Job &j = jobs[job];
+    const unsigned buf = j.consume_buf;
+    ops_.inc();
+    bytes_.add(cfg.block_bytes);
+    lat_.record(static_cast<double>(eng.now() -
+                                    j.buffers[buf].submit_time));
+    finishBlock(job, buf);
+    j.consuming = false;
+    consumeNext(job);
 }
 
 void

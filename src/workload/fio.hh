@@ -92,12 +92,16 @@ class FioWorkload : public Workload
         std::deque<unsigned> completed; ///< buffer indices ready to scan
         bool consuming = false;      ///< a consume continuation is live
         bool pump_scheduled = false; ///< an idle re-poll is queued
+        unsigned consume_buf = 0;    ///< buffer the live scan works on
+        Engine::Recurring pump_ev;   ///< idle re-poll actor
+        Engine::Recurring consume_done_ev; ///< scan-finished actor
     };
 
     void submitRead(unsigned job, unsigned buf);
     void onReadComplete(unsigned job, unsigned buf);
     void schedulePump(unsigned job, Tick delay);
     void consumeNext(unsigned job);
+    void onConsumeDone(unsigned job);
     void finishBlock(unsigned job, unsigned buf);
 
     Engine &eng;

@@ -17,6 +17,7 @@ RedisServer::RedisServer(std::string name, WorkloadId id, CoreId core,
     bucket_base = addrs.alloc(cfg.num_keys * 8, this->name() + ".idx");
     value_base = addrs.alloc(cfg.num_keys * cfg.value_bytes,
                              this->name() + ".heap");
+    serve_ev.init(eng, [this] { serveBatch(); });
 }
 
 void
@@ -25,7 +26,7 @@ RedisServer::start()
     if (active_)
         return;
     active_ = true;
-    eng.schedule(1, [this] { serveBatch(); });
+    serve_ev.arm(1);
 }
 
 bool
@@ -79,7 +80,7 @@ RedisServer::serveBatch()
 
     retire(n * 900.0, busy_ns, 2.3);
     Tick next = n ? static_cast<Tick>(busy_ns) + 1 : Tick(2 * kUsec);
-    eng.schedule(next, [this] { serveBatch(); });
+    serve_ev.arm(next);
 }
 
 // --- client --------------------------------------------------------------
@@ -96,6 +97,7 @@ RedisClient::RedisClient(std::string name, WorkloadId id, CoreId core,
     // Request-marshalling buffers: a modest client-side working set.
     req_buf = addrs.alloc(256 * kKiB, this->name() + ".req");
     req_lines = linesIn(256 * kKiB);
+    batch_ev.init(eng, [this] { runBatch(); });
 }
 
 void
@@ -104,7 +106,7 @@ RedisClient::start()
     if (active_)
         return;
     active_ = true;
-    eng.schedule(2, [this] { runBatch(); });
+    batch_ev.arm(2);
 }
 
 void
@@ -133,8 +135,7 @@ RedisClient::runBatch()
     }
 
     retire(cfg.batch * 600.0, busy_ns, 2.3);
-    eng.schedule(static_cast<Tick>(busy_ns) + 1,
-                 [this] { runBatch(); });
+    batch_ev.arm(static_cast<Tick>(busy_ns) + 1);
 }
 
 } // namespace a4

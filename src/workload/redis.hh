@@ -66,6 +66,7 @@ class RedisClient : public Workload
     Addr req_buf;
     std::uint64_t req_lines;
     std::uint64_t pos = 0;
+    Engine::Recurring batch_ev;
 };
 
 /** Redis server: hash-indexed KV store fed by the client. */
@@ -100,6 +101,7 @@ class RedisServer : public Workload
     Addr bucket_base;
     Addr value_base;
     std::deque<Request> requests;
+    Engine::Recurring serve_ev;
 };
 
 } // namespace a4

@@ -447,3 +447,23 @@ TEST(A4Manager, RegistrationErrors)
     EXPECT_THROW(r.mgr->addWorkload(zero), FatalError);
     EXPECT_THROW(r.mgr->removeWorkload(42), FatalError);
 }
+
+TEST(A4Manager, StopStartKeepsOnePeriodicChain)
+{
+    // stop() must invalidate the queued firing: restarting within the
+    // same monitor interval used to leave two interleaved periodic
+    // chains ticking at double rate.
+    Rig r;
+    r.addCpu(1, QosPriority::High, {0});
+    r.mgr->start();
+    r.eng.runFor(10 * kMsec); // interval = 1 ms -> ~10 ticks
+    const unsigned before = r.mgr->ticks();
+    EXPECT_GE(before, 9u);
+
+    r.mgr->stop();  // one firing still queued
+    r.mgr->start(); // re-arm immediately
+    r.eng.runFor(10 * kMsec);
+    const unsigned gained = r.mgr->ticks() - before;
+    EXPECT_GE(gained, 9u);
+    EXPECT_LE(gained, 11u); // a doubled chain would gain ~20
+}

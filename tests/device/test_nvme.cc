@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "duration_scale.hh"
 #include "iodev/nvme.hh"
 
 using namespace a4;
+using a4::test::stretch;
 
 namespace
 {
@@ -103,10 +105,14 @@ TEST(Nvme, ParallelismBoundsInFlight)
 
 TEST(Nvme, SmallBlocksAreOverheadBound)
 {
+    // Windows sized to a few hundred command rounds: long enough for
+    // the closed loop to reach steady state, short enough that the
+    // whole suite stays fast at -O0.
     Rig r;
     SsdConfig cfg; // 60 us overhead, 12.8 GB/s link, parallelism 16
     SsdArray &dev = r.makeSsd(cfg);
-    double tp = r.measureThroughput(dev, 4 * kKiB, 64, 50 * kMsec);
+    double tp = r.measureThroughput(dev, 4 * kKiB, 32,
+                                    stretch(10 * kMsec));
     // 16 concurrent * 4 KiB / ~60 us ~= 1.0-1.2 GB/s.
     EXPECT_GT(tp, 0.5e9);
     EXPECT_LT(tp, 2.5e9);
@@ -117,7 +123,8 @@ TEST(Nvme, LargeBlocksSaturateTheLink)
     Rig r;
     SsdConfig cfg;
     SsdArray &dev = r.makeSsd(cfg);
-    double tp = r.measureThroughput(dev, 1 * kMiB, 64, 50 * kMsec);
+    double tp = r.measureThroughput(dev, 1 * kMiB, 32,
+                                    stretch(15 * kMsec));
     EXPECT_GT(tp, 0.85 * cfg.link_bw_bps);
     EXPECT_LE(tp, 1.05 * cfg.link_bw_bps);
 }
@@ -129,7 +136,8 @@ TEST(Nvme, ThroughputMonotonicInBlockSize)
     SsdArray &dev = r.makeSsd(cfg);
     double prev = 0.0;
     for (std::uint64_t bs : {4 * kKiB, 32 * kKiB, 256 * kKiB}) {
-        double tp = r.measureThroughput(dev, bs, 32, 30 * kMsec);
+        double tp = r.measureThroughput(dev, bs, 16,
+                                        stretch(10 * kMsec));
         EXPECT_GE(tp, prev * 0.95) << "block " << bs;
         prev = tp;
     }
@@ -145,10 +153,10 @@ TEST(Nvme, ThroughputUnaffectedByDca)
     SsdArray &dev_off = off.makeSsd(cfg);
     off.ddio.disableDcaForPort(off.port);
 
-    double tp_on = on.measureThroughput(dev_on, 256 * kKiB, 32,
-                                        30 * kMsec);
-    double tp_off = off.measureThroughput(dev_off, 256 * kKiB, 32,
-                                          30 * kMsec);
+    double tp_on = on.measureThroughput(dev_on, 256 * kKiB, 16,
+                                        stretch(10 * kMsec));
+    double tp_off = off.measureThroughput(dev_off, 256 * kKiB, 16,
+                                          stretch(10 * kMsec));
     EXPECT_NEAR(tp_on, tp_off, tp_on * 0.02);
 }
 

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Simulation-window scaling for the time-driven suites (integration
+ * and the NVMe throughput sweeps).
+ *
+ * The default windows are sized so the whole suite finishes in
+ * seconds even at -O0. The LONG_TESTS soak registrations re-run the
+ * same binaries with A4_TEST_DURATION_SCALE=8, stretching every
+ * window back to (beyond) the original full-length runs.
+ */
+
+#ifndef A4_TESTS_DURATION_SCALE_HH
+#define A4_TESTS_DURATION_SCALE_HH
+
+#include <cstdlib>
+
+#include "sim/types.hh"
+
+namespace a4::test
+{
+
+/** Multiply a simulation window by $A4_TEST_DURATION_SCALE (>= 1). */
+inline Tick
+stretch(Tick window)
+{
+    static const unsigned scale = [] {
+        if (const char *env = std::getenv("A4_TEST_DURATION_SCALE")) {
+            const long v = std::atol(env);
+            if (v > 1)
+                return static_cast<unsigned>(v);
+        }
+        return 1u;
+    }();
+    return window * scale;
+}
+
+} // namespace a4::test
+
+#endif // A4_TESTS_DURATION_SCALE_HH

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "duration_scale.hh"
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
 #include "harness/testbed.hh"
 
 using namespace a4;
+using a4::test::stretch;
 
 namespace
 {
@@ -24,13 +26,16 @@ cfg8()
     return cfg;
 }
 
+// Windows are sized for a fast default suite: the daemon monitors
+// every 2 ms, so a 120 ms run still spans 60 management ticks.
+// LONG_TESTS (A4_TEST_DURATION_SCALE) stretches them back out.
 A4Params
 fastA4(char variant = 'd')
 {
     A4Params p = a4Variant(variant);
-    p.monitor_interval = 5 * kMsec;
-    p.min_accesses = 500;
-    p.min_dma_lines = 500;
+    p.monitor_interval = 2 * kMsec;
+    p.min_accesses = 200;
+    p.min_dma_lines = 200;
     return p;
 }
 
@@ -50,7 +55,7 @@ TEST(A4EndToEnd, ConvergesWithCpuOnlyMix)
     hp.start();
     lp.start();
     mgr.start();
-    bed.run(300 * kMsec);
+    bed.run(stretch(120 * kMsec));
 
     // The daemon ran and settled; LPW cores follow the LP Zone mask
     // (with an undemanding HPW the zone may legitimately expand to
@@ -86,7 +91,7 @@ TEST(A4EndToEnd, ReservesDcaZoneForIoHpws)
     hp.start();
     lp.start();
     mgr.start();
-    bed.run(200 * kMsec);
+    bed.run(stretch(80 * kMsec));
 
     // Non-I/O HPW excluded from the DCA ways; LP Zone excluded from
     // DCA and inclusive ways; I/O HPW unconstrained.
@@ -113,7 +118,7 @@ TEST(A4EndToEnd, DetectsStorageLeakAndDisablesDdio)
     dpdk.start();
     fio.start();
     mgr.start();
-    bed.run(500 * kMsec);
+    bed.run(stretch(200 * kMsec));
 
     // FIO identified as the DMA-leak source: port DDIO off, demoted.
     EXPECT_FALSE(bed.ddio().allocatingWrites(fio.ioPort()));
@@ -136,7 +141,7 @@ TEST(A4EndToEnd, VariantBLeavesDdioAlone)
     dpdk.start();
     fio.start();
     mgr.start();
-    bed.run(400 * kMsec);
+    bed.run(stretch(150 * kMsec));
     EXPECT_TRUE(bed.ddio().allocatingWrites(fio.ioPort()));
 }
 
@@ -154,7 +159,7 @@ TEST(A4EndToEnd, DetectsStreamingAntagonist)
     hp.start();
     lbm.start();
     mgr.start();
-    bed.run(600 * kMsec);
+    bed.run(stretch(250 * kMsec));
 
     EXPECT_TRUE(mgr.isAntagonist(lbm.id()));
     // Antagonist confined to trash ways around the rightmost LP way.
@@ -187,8 +192,8 @@ TEST(A4EndToEnd, MitigatesDirectoryContentionVsStaticAllocation)
         }
 
         Windows w;
-        w.warmup = 100 * kMsec;
-        w.measure = 100 * kMsec;
+        w.warmup = stretch(50 * kMsec);
+        w.measure = stretch(50 * kMsec);
         Measurement m(bed, {&dpdk, &lp}, w);
         m.run();
         return m.sample(lp).missesPerAccess();

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "duration_scale.hh"
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
 #include "harness/testbed.hh"
 
 using namespace a4;
+using a4::test::stretch;
 
 namespace
 {
@@ -28,8 +30,8 @@ Windows
 fastWin()
 {
     Windows w;
-    w.warmup = 20 * kMsec;
-    w.measure = 50 * kMsec;
+    w.warmup = stretch(10 * kMsec);
+    w.measure = stretch(25 * kMsec);
     return w;
 }
 

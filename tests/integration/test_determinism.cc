@@ -10,10 +10,12 @@
 
 #include <tuple>
 
+#include "duration_scale.hh"
 #include "harness/builders.hh"
 #include "harness/testbed.hh"
 
 using namespace a4;
+using a4::test::stretch;
 
 namespace
 {
@@ -57,9 +59,9 @@ runOnce(bool with_a4)
     std::unique_ptr<A4Manager> mgr;
     if (with_a4) {
         A4Params prm;
-        prm.monitor_interval = 5 * kMsec;
-        prm.min_accesses = 500;
-        prm.min_dma_lines = 500;
+        prm.monitor_interval = 2 * kMsec;
+        prm.min_accesses = 200;
+        prm.min_dma_lines = 200;
         mgr = std::make_unique<A4Manager>(bed.engine(), bed.cache(),
                                           bed.cat(), bed.ddio(),
                                           bed.dram(), bed.pcie(), prm);
@@ -70,7 +72,7 @@ runOnce(bool with_a4)
 
     dpdk.start();
     fio.start();
-    bed.run(120 * kMsec);
+    bed.run(stretch(50 * kMsec));
 
     Fingerprint f;
     f.llc_evictions = bed.cache().global().llc_evictions.value();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/log.hh"
 
 using namespace a4;
 
@@ -75,15 +76,25 @@ TEST(Engine, CallbacksMayScheduleMore)
     EXPECT_EQ(eng.eventsFired(), 5u);
 }
 
-TEST(Engine, ScheduleAtClampsToNow)
+TEST(Engine, ScheduleAtInThePastIsAnActorBug)
 {
+    // Past-dated events are actor bugs: debug builds panic so they
+    // cannot hide as reordering; release builds clamp to now() and
+    // count the slip in pastEvents().
     Engine eng;
     eng.schedule(100, [] {});
     eng.runUntil(100);
+    EXPECT_EQ(eng.pastEvents(), 0u);
+#ifndef NDEBUG
+    EXPECT_THROW(eng.scheduleAt(50, [] {}), PanicError);
+    EXPECT_EQ(eng.pastEvents(), 1u);
+#else
     bool fired = false;
     eng.scheduleAt(50, [&] { fired = true; }); // in the past
+    EXPECT_EQ(eng.pastEvents(), 1u);
     eng.runUntil(100);
     EXPECT_TRUE(fired);
+#endif
 }
 
 TEST(Engine, RunForIsRelative)
