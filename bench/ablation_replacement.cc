@@ -18,6 +18,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -25,7 +26,7 @@ using namespace a4;
 namespace
 {
 
-double
+Record
 staticPoint(LlcReplacement pol, unsigned lo, unsigned hi)
 {
     ServerConfig cfg = ServerConfig::fast();
@@ -39,10 +40,12 @@ staticPoint(LlcReplacement pol, unsigned lo, unsigned hi)
 
     Measurement m(bed, {&dpdk, &xmem});
     m.run();
-    return m.sample(xmem).missesPerAccess();
+    Record r;
+    r.set("mpa", m.sample(xmem).missesPerAccess());
+    return r;
 }
 
-double
+Record
 a4Point()
 {
     // A4 manages the same pair; the LPW is placed by the daemon.
@@ -60,45 +63,74 @@ a4Point()
     mgr.addWorkload(Testbed::describe(xmem, QosPriority::Low));
     mgr.start();
 
-    Windows win;
-    win.warmup = 150 * kMsec;
-    win.measure = 120 * kMsec;
+    Windows win =
+        Windows::fromEnv(Windows{150 * kMsec, 120 * kMsec});
     Measurement m(bed, {&dpdk, &xmem}, win);
     m.run();
-    return m.sample(xmem).missesPerAccess();
+    Record r;
+    r.set("mpa", m.sample(xmem).missesPerAccess());
+    return r;
+}
+
+struct Row
+{
+    unsigned lo, hi;
+    const char *label;
+};
+
+const Row kRows[] = {{0, 1, "latent (DCA ways)"},
+                     {3, 4, "none (baseline)"},
+                     {5, 6, "DMA bloat (DPDK's ways)"},
+                     {9, 10, "directory (inclusive ways)"}};
+
+std::string
+pointName(LlcReplacement pol, const Row &row)
+{
+    return sformat("%s/x[%u:%u]",
+                   pol == LlcReplacement::Lru ? "lru" : "srrip",
+                   row.lo, row.hi);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    Sweep sw("ablation_replacement", argc, argv);
+    for (const Row &row : kRows) {
+        for (LlcReplacement pol :
+             {LlcReplacement::Lru, LlcReplacement::Srrip}) {
+            sw.add(pointName(pol, row), [pol, &row] {
+                return staticPoint(pol, row.lo, row.hi);
+            });
+        }
+    }
+    sw.add("a4", [] { return a4Point(); });
+    sw.run();
+
     std::printf("=== Ablation: LLC replacement policy vs A4 "
                 "(X-Mem misses/access next to DPDK-T) ===\n");
 
     Table t({"X-Mem placement", "contention", "LRU", "SRRIP"});
-    struct Row
-    {
-        unsigned lo, hi;
-        const char *label;
-    };
-    const Row rows[] = {{0, 1, "latent (DCA ways)"},
-                        {3, 4, "none (baseline)"},
-                        {5, 6, "DMA bloat (DPDK's ways)"},
-                        {9, 10, "directory (inclusive ways)"}};
-    for (const Row &row : rows) {
+    for (const Row &row : kRows) {
+        const Record *lru = sw.find(pointName(LlcReplacement::Lru, row));
+        const Record *srrip =
+            sw.find(pointName(LlcReplacement::Srrip, row));
+        if (!lru && !srrip)
+            continue;
         t.addRow({sformat("way[%u:%u]", row.lo, row.hi), row.label,
-                  Table::num(staticPoint(LlcReplacement::Lru, row.lo,
-                                         row.hi), 3),
-                  Table::num(staticPoint(LlcReplacement::Srrip, row.lo,
-                                         row.hi), 3)});
+                  Table::num(lru, "mpa", 3),
+                  Table::num(srrip, "mpa", 3)});
     }
     t.print();
 
-    std::printf("\nA4-managed placement (LRU hardware): "
-                "misses/access = %.3f\n", a4Point());
-    std::printf("A4 avoids all three contentions by placement; a "
-                "replacement policy can only reshuffle the bloat.\n");
-    return 0;
+    if (const Record *a4 = sw.find("a4")) {
+        std::printf("\nA4-managed placement (LRU hardware): "
+                    "misses/access = %.3f\n", a4->num("mpa"));
+        std::printf("A4 avoids all three contentions by placement; a "
+                    "replacement policy can only reshuffle the "
+                    "bloat.\n");
+    }
+    return sw.finish();
 }

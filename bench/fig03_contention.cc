@@ -18,6 +18,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/scaling.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 #include "harness/testbed.hh"
 #include "workload/dpdk.hh"
@@ -28,15 +29,7 @@ using namespace a4;
 namespace
 {
 
-struct RowResult
-{
-    double mem_rd_gbps;
-    double mem_wr_gbps;
-    double xmem_mpa;
-    double dpdk_miss;
-};
-
-RowResult
+Record
 runPoint(bool touch, unsigned lo, unsigned hi)
 {
     ServerConfig cfg = ServerConfig::fast();
@@ -73,16 +66,22 @@ runPoint(bool touch, unsigned lo, unsigned hi)
     WorkloadSample xs = m.sample(xmem_ref);
     SystemSample sys = m.system();
 
-    RowResult r;
-    r.mem_rd_gbps = unscaleBw(sys.memReadBwBps(), scale) / 1e9;
-    r.mem_wr_gbps = unscaleBw(sys.memWriteBwBps(), scale) / 1e9;
-    r.xmem_mpa = xs.missesPerAccess();
-    r.dpdk_miss = ds.llcMissRate();
+    Record r;
+    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
+    r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
+    r.set("xmem_mpa", xs.missesPerAccess());
+    r.set("dpdk_miss", ds.llcMissRate());
     return r;
 }
 
+std::string
+pointName(bool touch, unsigned lo)
+{
+    return sformat("%s/x[%u:%u]", touch ? "b" : "a", lo, lo + 1);
+}
+
 void
-runPanel(bool touch)
+emitPanel(const Sweep &sw, bool touch)
 {
     std::printf("\n=== Fig. 3%s: %s vs X-Mem (DPDK at way[5:6]) ===\n",
                 touch ? "b" : "a", touch ? "DPDK-T" : "DPDK-NT");
@@ -90,12 +89,15 @@ runPanel(bool touch)
              "X-Mem miss/acc", "DPDK LLC miss"});
     CatController cat(11, 18);
     for (unsigned lo = 0; lo + 1 < 11; ++lo) {
-        RowResult r = runPoint(touch, lo, lo + 1);
+        const Record *r = sw.find(pointName(touch, lo));
+        if (!r)
+            continue;
         t.addRow({sformat("[%u:%u]", lo, lo + 1),
                   cat.paperHex(CatController::makeMask(lo, lo + 1)),
-                  Table::num(r.mem_rd_gbps), Table::num(r.mem_wr_gbps),
-                  Table::num(r.xmem_mpa, 3),
-                  Table::num(r.dpdk_miss, 3)});
+                  Table::num(r->num("mem_rd_gbps")),
+                  Table::num(r->num("mem_wr_gbps")),
+                  Table::num(r->num("xmem_mpa"), 3),
+                  Table::num(r->num("dpdk_miss"), 3)});
     }
     t.print();
 }
@@ -103,10 +105,19 @@ runPanel(bool touch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    runPanel(false); // Fig. 3a
-    runPanel(true);  // Fig. 3b
-    return 0;
+    Sweep sw("fig03_contention", argc, argv);
+    for (bool touch : {false, true}) {
+        for (unsigned lo = 0; lo + 1 < 11; ++lo) {
+            sw.add(pointName(touch, lo),
+                   [touch, lo] { return runPoint(touch, lo, lo + 1); });
+        }
+    }
+    sw.run();
+
+    emitPanel(sw, false); // Fig. 3a
+    emitPanel(sw, true);  // Fig. 3b
+    return sw.finish();
 }

@@ -15,6 +15,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -22,13 +23,7 @@ using namespace a4;
 namespace
 {
 
-struct Point
-{
-    double dpdk_tail_us;
-    double xmem_mpa;
-};
-
-Point
+Record
 runPoint(bool with_dpdk, bool dca_on, unsigned lo, unsigned hi)
 {
     Testbed bed;
@@ -59,36 +54,58 @@ runPoint(bool with_dpdk, bool dca_on, unsigned lo, unsigned hi)
     Measurement m(bed, tracked);
     m.run();
 
-    Point p;
-    p.xmem_mpa = m.sample(xmem).missesPerAccess();
-    p.dpdk_tail_us = dpdk ? dpdk->latency().percentile(99) / 1000.0
-                          : 0.0;
-    return p;
+    Record r;
+    r.set("xmem_mpa", m.sample(xmem).missesPerAccess());
+    r.set("dpdk_tail_us",
+          dpdk ? dpdk->latency().percentile(99) / 1000.0 : 0.0);
+    return r;
+}
+
+std::string
+pointName(bool dca, unsigned lo, unsigned hi)
+{
+    return sformat("%s/x[%u:%u]", dca ? "dca-on" : "dca-off", lo, hi);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    Sweep sw("fig04_directory_validation", argc, argv);
+
+    const unsigned sweeps[][2] = {{0, 1}, {3, 4}, {5, 6}, {9, 10}};
+    sw.add("solo/x[9:10]", [] { return runPoint(false, true, 9, 10); });
+    for (bool dca : {true, false}) {
+        for (auto &ways : sweeps) {
+            const unsigned lo = ways[0], hi = ways[1];
+            sw.add(pointName(dca, lo, hi),
+                   [dca, lo, hi] { return runPoint(true, dca, lo, hi); });
+        }
+    }
+    sw.run();
+
     std::printf("=== Fig. 4: directory-contention validation ===\n");
     Table t({"config", "X-Mem ways", "DPDK-T p99 (us)",
              "X-Mem miss/acc"});
 
-    Point solo = runPoint(false, true, 9, 10);
-    t.addRow({"X-Mem solo", "[9:10]", "-", Table::num(solo.xmem_mpa, 3)});
-
-    const unsigned sweeps[][2] = {{0, 1}, {3, 4}, {5, 6}, {9, 10}};
+    if (const Record *solo = sw.find("solo/x[9:10]")) {
+        t.addRow({"X-Mem solo", "[9:10]", "-",
+                  Table::num(solo->num("xmem_mpa"), 3)});
+    }
     for (bool dca : {true, false}) {
         for (auto &ways : sweeps) {
-            Point p = runPoint(true, dca, ways[0], ways[1]);
+            const Record *p =
+                sw.find(pointName(dca, ways[0], ways[1]));
+            if (!p)
+                continue;
             t.addRow({dca ? "DCA on" : "DCA off",
                       sformat("[%u:%u]", ways[0], ways[1]),
-                      Table::num(p.dpdk_tail_us, 1),
-                      Table::num(p.xmem_mpa, 3)});
+                      Table::num(p->num("dpdk_tail_us"), 1),
+                      Table::num(p->num("xmem_mpa"), 3)});
         }
     }
     t.print();
-    return 0;
+    return sw.finish();
 }

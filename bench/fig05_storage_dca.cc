@@ -18,6 +18,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -25,14 +26,7 @@ using namespace a4;
 namespace
 {
 
-struct Point
-{
-    double storage_gbps;
-    double mem_rd_gbps;
-    double leak_rate;
-};
-
-Point
+Record
 runPoint(std::uint64_t block, bool dca_on)
 {
     Testbed bed;
@@ -48,38 +42,61 @@ runPoint(std::uint64_t block, bool dca_on)
     SystemSample sys = m.system();
     const unsigned scale = bed.config().scale;
 
-    Point p;
-    p.storage_gbps =
-        unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) * 1e9 /
-                      double(m.windows().measure),
-                  scale) /
-        1e9;
-    p.mem_rd_gbps = unscaleBw(sys.memReadBwBps(), scale) / 1e9;
-    p.leak_rate = s.dcaMissRate();
-    return p;
+    Record r;
+    r.set("storage_gbps",
+          unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) *
+                        1e9 / double(m.windows().measure),
+                    scale) /
+              1e9);
+    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
+    r.set("leak_rate", s.dcaMissRate());
+    return r;
+}
+
+std::string
+pointName(std::uint64_t kb, bool dca_on)
+{
+    return sformat("block=%lluKB/%s", (unsigned long long)kb,
+                   dca_on ? "dca-on" : "dca-off");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
+                                       128, 256, 512, 1024, 2048};
+
+    Sweep sw("fig05_storage_dca", argc, argv);
+    for (std::uint64_t kb : blocks_kb) {
+        for (bool dca : {true, false}) {
+            sw.add(pointName(kb, dca),
+                   [kb, dca] { return runPoint(kb * kKiB, dca); });
+        }
+    }
+    sw.run();
+
     std::printf("=== Fig. 5: storage block size & DCA vs throughput/"
                 "memory bandwidth ===\n");
     Table t({"block", "[DCA on] Storage GB/s", "[DCA on] MemRd GB/s",
              "[DCA on] leak", "[DCA off] Storage GB/s",
              "[DCA off] MemRd GB/s"});
 
-    for (std::uint64_t kb :
-         {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}) {
-        Point on = runPoint(kb * kKiB, true);
-        Point off = runPoint(kb * kKiB, false);
+    for (std::uint64_t kb : blocks_kb) {
+        const Record *on = sw.find(pointName(kb, true));
+        const Record *off = sw.find(pointName(kb, false));
+        if (!on && !off)
+            continue;
         t.addRow({sformat("%lluKB", (unsigned long long)kb),
-                  Table::num(on.storage_gbps), Table::num(on.mem_rd_gbps),
-                  Table::pct(on.leak_rate), Table::num(off.storage_gbps),
-                  Table::num(off.mem_rd_gbps)});
+                  Table::num(on, "storage_gbps"),
+                  Table::num(on, "mem_rd_gbps"),
+                  on ? Table::pct(on->num("leak_rate"))
+                     : std::string("-"),
+                  Table::num(off, "storage_gbps"),
+                  Table::num(off, "mem_rd_gbps")});
     }
     t.print();
-    return 0;
+    return sw.finish();
 }

@@ -17,6 +17,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -24,14 +25,7 @@ using namespace a4;
 namespace
 {
 
-struct Point
-{
-    double net_avg_us;
-    double net_p99_us;
-    double storage_gbps;
-};
-
-Point
+Record
 runPoint(std::uint64_t block, bool dca_on, bool with_fio)
 {
     Testbed bed;
@@ -53,50 +47,83 @@ runPoint(std::uint64_t block, bool dca_on, bool with_fio)
     m.run();
 
     SystemSample sys = m.system();
-    Point p;
-    p.net_avg_us = dpdk.latency().mean() / 1000.0;
-    p.net_p99_us = dpdk.latency().percentile(99) / 1000.0;
-    p.storage_gbps =
-        fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
-                            1e9 / double(m.windows().measure),
-                        bed.config().scale) /
-                  1e9
-            : 0.0;
-    return p;
+    Record r;
+    r.set("net_avg_us", dpdk.latency().mean() / 1000.0);
+    r.set("net_p99_us", dpdk.latency().percentile(99) / 1000.0);
+    r.set("storage_gbps",
+          fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
+                              1e9 / double(m.windows().measure),
+                          bed.config().scale) /
+                    1e9
+              : 0.0);
+    return r;
+}
+
+std::string
+pointName(std::uint64_t kb, bool dca_on)
+{
+    return sformat("a/block=%lluKB/%s", (unsigned long long)kb,
+                   dca_on ? "dca-on" : "dca-off");
+}
+
+std::string
+soloName(bool dca_on)
+{
+    return sformat("b/solo/%s", dca_on ? "dca-on" : "dca-off");
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
+                                       128, 256, 512, 1024, 2048};
+
+    Sweep sw("fig06_storage_network", argc, argv);
+    for (std::uint64_t kb : blocks_kb) {
+        for (bool dca : {true, false}) {
+            sw.add(pointName(kb, dca),
+                   [kb, dca] { return runPoint(kb * kKiB, dca, true); });
+        }
+    }
+    for (bool dca : {true, false}) {
+        sw.add(soloName(dca),
+               [dca] { return runPoint(0, dca, false); });
+    }
+    sw.run();
+
     std::printf("=== Fig. 6a: DPDK-T + FIO, storage block sweep ===\n");
     Table t({"block", "[on] Net AL us", "[on] Net TL us",
              "[on] Storage GB/s", "[off] Net AL us", "[off] Net TL us",
              "[off] Storage GB/s"});
-    for (std::uint64_t kb :
-         {4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}) {
-        Point on = runPoint(kb * kKiB, true, true);
-        Point off = runPoint(kb * kKiB, false, true);
+    for (std::uint64_t kb : blocks_kb) {
+        const Record *on = sw.find(pointName(kb, true));
+        const Record *off = sw.find(pointName(kb, false));
+        if (!on && !off)
+            continue;
         t.addRow({sformat("%lluKB", (unsigned long long)kb),
-                  Table::num(on.net_avg_us, 1),
-                  Table::num(on.net_p99_us, 1),
-                  Table::num(on.storage_gbps),
-                  Table::num(off.net_avg_us, 1),
-                  Table::num(off.net_p99_us, 1),
-                  Table::num(off.storage_gbps)});
+                  Table::num(on, "net_avg_us", 1),
+                  Table::num(on, "net_p99_us", 1),
+                  Table::num(on, "storage_gbps", 2),
+                  Table::num(off, "net_avg_us", 1),
+                  Table::num(off, "net_p99_us", 1),
+                  Table::num(off, "storage_gbps", 2)});
     }
     t.print();
 
     std::printf("\n=== Fig. 6b: DPDK-T solo ===\n");
     Table t2({"config", "Net AL us", "Net TL us"});
-    Point solo_on = runPoint(0, true, false);
-    Point solo_off = runPoint(0, false, false);
-    t2.addRow({"DCA on", Table::num(solo_on.net_avg_us, 1),
-               Table::num(solo_on.net_p99_us, 1)});
-    t2.addRow({"DCA off", Table::num(solo_off.net_avg_us, 1),
-               Table::num(solo_off.net_p99_us, 1)});
+    for (bool dca : {true, false}) {
+        const Record *p =
+            sw.find(soloName(dca));
+        if (!p)
+            continue;
+        t2.addRow({dca ? "DCA on" : "DCA off",
+                   Table::num(p->num("net_avg_us"), 1),
+                   Table::num(p->num("net_p99_us"), 1)});
+    }
     t2.print();
-    return 0;
+    return sw.finish();
 }

@@ -18,6 +18,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -25,15 +26,7 @@ using namespace a4;
 namespace
 {
 
-struct Point
-{
-    double avg_us;
-    double p99_us;
-    double mem_rd_gbps;
-    double mem_wr_gbps;
-};
-
-Point
+Record
 runPoint(unsigned n_ways, bool overlap)
 {
     Testbed bed;
@@ -54,44 +47,53 @@ runPoint(unsigned n_ways, bool overlap)
 
     SystemSample sys = m.system();
     const unsigned scale = bed.config().scale;
-    Point p;
-    p.avg_us = dpdk.latency().mean() / 1000.0;
-    p.p99_us = dpdk.latency().percentile(99) / 1000.0;
-    p.mem_rd_gbps = unscaleBw(sys.memReadBwBps(), scale) / 1e9;
-    p.mem_wr_gbps = unscaleBw(sys.memWriteBwBps(), scale) / 1e9;
-    return p;
+    Record r;
+    r.set("avg_us", dpdk.latency().mean() / 1000.0);
+    r.set("p99_us", dpdk.latency().percentile(99) / 1000.0);
+    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
+    r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
+    return r;
 }
+
+struct Cfg
+{
+    unsigned n;
+    bool overlap;
+    const char *label;
+};
+
+const Cfg kCfgs[] = {{2, true, "2O"},  {2, false, "2E"},
+                     {4, true, "4O"},  {4, false, "4E"},
+                     {6, true, "6O"},  {6, false, "6E"},
+                     {8, true, "8O"}};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    Sweep sw("fig07_overlap_exclude", argc, argv);
+    for (const Cfg &c : kCfgs) {
+        sw.add(c.label, [&c] { return runPoint(c.n, c.overlap); });
+    }
+    sw.run();
+
     std::printf("=== Fig. 7: n-Overlap vs n-Exclude allocation for "
                 "DPDK-T ===\n");
     Table t({"strategy", "ways", "Net AL us", "Net TL us",
              "MemRd GB/s", "MemWr GB/s"});
-
-    struct Cfg
-    {
-        unsigned n;
-        bool overlap;
-        const char *label;
-    };
-    const Cfg cfgs[] = {{2, true, "2O"},  {2, false, "2E"},
-                        {4, true, "4O"},  {4, false, "4E"},
-                        {6, true, "6O"},  {6, false, "6E"},
-                        {8, true, "8O"}};
-
-    for (const Cfg &c : cfgs) {
+    for (const Cfg &c : kCfgs) {
+        const Record *p = sw.find(c.label);
+        if (!p)
+            continue;
         unsigned last = c.overlap ? 10 : 8;
-        Point p = runPoint(c.n, c.overlap);
-        t.addRow({c.label,
-                  sformat("[%u:%u]", last - c.n + 1, last),
-                  Table::num(p.avg_us, 1), Table::num(p.p99_us, 1),
-                  Table::num(p.mem_rd_gbps), Table::num(p.mem_wr_gbps)});
+        t.addRow({c.label, sformat("[%u:%u]", last - c.n + 1, last),
+                  Table::num(p->num("avg_us"), 1),
+                  Table::num(p->num("p99_us"), 1),
+                  Table::num(p->num("mem_rd_gbps")),
+                  Table::num(p->num("mem_wr_gbps"))});
     }
     t.print();
-    return 0;
+    return sw.finish();
 }

@@ -15,6 +15,7 @@
 
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
 
 using namespace a4;
@@ -22,14 +23,7 @@ using namespace a4;
 namespace
 {
 
-struct PointA
-{
-    double net_avg_us;
-    double net_p99_us;
-    double storage_gbps;
-};
-
-PointA
+Record
 runA(std::uint64_t block, bool ssd_dca_off)
 {
     Testbed bed;
@@ -46,24 +40,18 @@ runA(std::uint64_t block, bool ssd_dca_off)
     m.run();
 
     SystemSample sys = m.system();
-    PointA p;
-    p.net_avg_us = dpdk.latency().mean() / 1000.0;
-    p.net_p99_us = dpdk.latency().percentile(99) / 1000.0;
-    p.storage_gbps =
-        unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) * 1e9 /
-                      double(m.windows().measure),
-                  bed.config().scale) /
-        1e9;
-    return p;
+    Record r;
+    r.set("net_avg_us", dpdk.latency().mean() / 1000.0);
+    r.set("net_p99_us", dpdk.latency().percentile(99) / 1000.0);
+    r.set("storage_gbps",
+          unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) *
+                        1e9 / double(m.windows().measure),
+                    bed.config().scale) /
+              1e9);
+    return r;
 }
 
-struct PointB
-{
-    double xmem_mpa;
-    double storage_gbps;
-};
-
-PointB
+Record
 runB(unsigned fio_hi, bool with_fio)
 {
     Testbed bed;
@@ -85,51 +73,89 @@ runB(unsigned fio_hi, bool with_fio)
     m.run();
 
     SystemSample sys = m.system();
-    PointB p;
-    p.xmem_mpa = m.sample(xmem).missesPerAccess();
-    p.storage_gbps =
-        fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
-                            1e9 / double(m.windows().measure),
-                        bed.config().scale) /
-                  1e9
-            : 0.0;
-    return p;
+    Record r;
+    r.set("xmem_mpa", m.sample(xmem).missesPerAccess());
+    r.set("storage_gbps",
+          fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
+                              1e9 / double(m.windows().measure),
+                          bed.config().scale) /
+                    1e9
+              : 0.0);
+    return r;
+}
+
+std::string
+pointA(std::uint64_t kb, bool ssd_off)
+{
+    return sformat("a/block=%lluKB/%s", (unsigned long long)kb,
+                   ssd_off ? "ssd-off" : "dca-on");
+}
+
+std::string
+fioName(unsigned hi)
+{
+    return sformat("b/fio[2:%u]", hi);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    const std::uint64_t blocks_kb[] = {16, 32, 64, 128, 256, 512};
+    const unsigned fio_his[] = {5, 4, 3, 2};
+
+    Sweep sw("fig08_device_aware", argc, argv);
+    for (std::uint64_t kb : blocks_kb) {
+        for (bool ssd_off : {false, true}) {
+            sw.add(pointA(kb, ssd_off), [kb, ssd_off] {
+                return runA(kb * kKiB, ssd_off);
+            });
+        }
+    }
+    sw.add("b/solo", [] { return runB(0, false); });
+    for (unsigned hi : fio_his) {
+        sw.add(fioName(hi),
+               [hi] { return runB(hi, true); });
+    }
+    sw.run();
+
     std::printf("=== Fig. 8a: per-port SSD-DCA disable "
                 "(DPDK-T + FIO) ===\n");
     Table ta({"block", "[DCA on] Net AL us", "[DCA on] Net TL us",
               "[DCA on] Storage GB/s", "[SSD off] Net AL us",
               "[SSD off] Net TL us", "[SSD off] Storage GB/s"});
-    for (std::uint64_t kb : {16, 32, 64, 128, 256, 512}) {
-        PointA on = runA(kb * kKiB, false);
-        PointA off = runA(kb * kKiB, true);
+    for (std::uint64_t kb : blocks_kb) {
+        const Record *on = sw.find(pointA(kb, false));
+        const Record *off = sw.find(pointA(kb, true));
+        if (!on && !off)
+            continue;
         ta.addRow({sformat("%lluKB", (unsigned long long)kb),
-                   Table::num(on.net_avg_us, 1),
-                   Table::num(on.net_p99_us, 1),
-                   Table::num(on.storage_gbps),
-                   Table::num(off.net_avg_us, 1),
-                   Table::num(off.net_p99_us, 1),
-                   Table::num(off.storage_gbps)});
+                   Table::num(on, "net_avg_us", 1),
+                   Table::num(on, "net_p99_us", 1),
+                   Table::num(on, "storage_gbps", 2),
+                   Table::num(off, "net_avg_us", 1),
+                   Table::num(off, "net_p99_us", 1),
+                   Table::num(off, "storage_gbps", 2)});
     }
     ta.print();
 
     std::printf("\n=== Fig. 8b: shrinking FIO's ways under SSD-DCA "
                 "off (X-Mem at way[2:5]) ===\n");
     Table tb({"FIO ways", "X-Mem miss/acc", "Storage GB/s"});
-    PointB solo = runB(0, false);
-    tb.addRow({"X-Mem solo", Table::num(solo.xmem_mpa, 3), "-"});
-    for (unsigned hi : {5, 4, 3, 2}) {
-        PointB p = runB(hi, true);
-        tb.addRow({sformat("[2:%u]", hi), Table::num(p.xmem_mpa, 3),
-                   Table::num(p.storage_gbps)});
+    if (const Record *solo = sw.find("b/solo")) {
+        tb.addRow({"X-Mem solo", Table::num(solo->num("xmem_mpa"), 3),
+                   "-"});
+    }
+    for (unsigned hi : fio_his) {
+        const Record *p = sw.find(fioName(hi));
+        if (!p)
+            continue;
+        tb.addRow({sformat("[2:%u]", hi),
+                   Table::num(p->num("xmem_mpa"), 3),
+                   Table::num(p->num("storage_gbps"))});
     }
     tb.print();
-    return 0;
+    return sw.finish();
 }

@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <optional>
 
 #include "harness/scenarios.hh"
 #include "harness/table.hh"
@@ -21,16 +22,40 @@
 
 using namespace a4;
 
+namespace
+{
+
+std::string
+pointName(Scheme s, unsigned packet)
+{
+    return sformat("%s/p%uB", schemeName(s), packet);
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     const unsigned packets[] = {64, 128, 256, 512, 1024, 1514};
     const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
                               Scheme::A4d};
 
+    Sweep sw("fig11_xmem_packet_sweep", argc, argv);
+    for (Scheme s : schemes) {
+        for (unsigned p : packets) {
+            sw.add(pointName(s, p), [s, p] {
+                return toRecord(runMicroScenario(s, p, 2 * kMiB));
+            });
+        }
+    }
+    sw.run();
+
     // Normalisation reference: Default at 64 B.
-    MicroResult ref = runMicroScenario(Scheme::Default, 64, 2 * kMiB);
+    const Record *ref_rec = sw.find(pointName(Scheme::Default, 64));
+    std::optional<MicroResult> ref;
+    if (ref_rec)
+        ref = microResultFrom(*ref_rec);
 
     std::printf("=== Fig. 11: X-Mem IPC / LLC hit rate vs packet size "
                 "(storage block 2MB) ===\n");
@@ -38,18 +63,22 @@ main()
              "X2 hit", "X3 relIPC", "X3 hit"});
     for (Scheme s : schemes) {
         for (unsigned p : packets) {
-            MicroResult r = (s == Scheme::Default && p == 64)
-                                ? ref
-                                : runMicroScenario(s, p, 2 * kMiB);
-            t.addRow({schemeName(s), sformat("%uB", p),
-                      Table::num(ratio(r.xmem_ipc[0], ref.xmem_ipc[0])),
-                      Table::pct(r.xmem_hit[0]),
-                      Table::num(ratio(r.xmem_ipc[1], ref.xmem_ipc[1])),
-                      Table::pct(r.xmem_hit[1]),
-                      Table::num(ratio(r.xmem_ipc[2], ref.xmem_ipc[2])),
-                      Table::pct(r.xmem_hit[2])});
+            const Record *rec = sw.find(pointName(s, p));
+            if (!rec)
+                continue;
+            MicroResult r = microResultFrom(*rec);
+            std::vector<std::string> cells{schemeName(s),
+                                           sformat("%uB", p)};
+            for (unsigned v = 0; v < 3; ++v) {
+                cells.push_back(
+                    ref ? Table::num(
+                              ratio(r.xmem_ipc[v], ref->xmem_ipc[v]))
+                        : std::string("-"));
+                cells.push_back(Table::pct(r.xmem_hit[v]));
+            }
+            t.addRow(std::move(cells));
         }
     }
     t.print();
-    return 0;
+    return sw.finish();
 }

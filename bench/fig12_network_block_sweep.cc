@@ -21,21 +21,46 @@
 
 using namespace a4;
 
+namespace
+{
+
+std::string
+pointName(Scheme s, std::uint64_t kb)
+{
+    return sformat("%s/block=%lluKB", schemeName(s),
+                   (unsigned long long)kb);
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,  64,
+    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
                                        128, 256, 512, 1024, 2048};
     const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
                               Scheme::A4d};
+
+    Sweep sw("fig12_network_block_sweep", argc, argv);
+    for (Scheme s : schemes) {
+        for (std::uint64_t kb : blocks_kb) {
+            sw.add(pointName(s, kb), [s, kb] {
+                return toRecord(runMicroScenario(s, 1514, kb * kKiB));
+            });
+        }
+    }
+    sw.run();
 
     std::printf("=== Fig. 12: network tail latency / read throughput "
                 "vs storage block (packet 1514B) ===\n");
     Table t({"scheme", "block", "Net TL (us)", "Net Rd (GB/s)"});
     for (Scheme s : schemes) {
         for (std::uint64_t kb : blocks_kb) {
-            MicroResult r = runMicroScenario(s, 1514, kb * kKiB);
+            const Record *rec = sw.find(pointName(s, kb));
+            if (!rec)
+                continue;
+            MicroResult r = microResultFrom(*rec);
             t.addRow({schemeName(s),
                       sformat("%lluKB", (unsigned long long)kb),
                       Table::num(r.net_tail_us, 1),
@@ -43,5 +68,5 @@ main()
         }
     }
     t.print();
-    return 0;
+    return sw.finish();
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
 
 #include "harness/scenarios.hh"
 #include "harness/table.hh"
@@ -25,19 +26,43 @@ using namespace a4;
 namespace
 {
 
+std::string
+pointName(bool hpw_heavy, Scheme s)
+{
+    return sformat("%s/%s", hpw_heavy ? "hpw-heavy" : "lpw-heavy",
+                   schemeName(s));
+}
+
 void
-runScenario(bool hpw_heavy)
+emitScenario(const Sweep &sw, bool hpw_heavy)
 {
     const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
                               Scheme::A4a,     Scheme::A4b,
                               Scheme::A4c,     Scheme::A4d};
 
-    std::map<Scheme, ScenarioResult> results;
-    for (Scheme s : schemes)
-        results[s] = runRealWorldScenario(hpw_heavy, s);
+    std::map<Scheme, std::optional<ScenarioResult>> results;
+    for (Scheme s : schemes) {
+        if (const Record *rec = sw.find(pointName(hpw_heavy, s)))
+            results[s] = scenarioResultFrom(*rec);
+    }
+    if (!results[Scheme::Default]) {
+        // Every column below is relative to the Default run; without
+        // it the table is unprintable — but say so when other points
+        // did run, instead of silently dropping their results.
+        for (const auto &[s, r] : results) {
+            if (r) {
+                std::printf("\n=== Fig. 13%s: skipped — --filter "
+                            "dropped the Default baseline; rerun "
+                            "without --filter or read --json ===\n",
+                            hpw_heavy ? "a" : "b");
+                break;
+            }
+        }
+        return;
+    }
 
-    const ScenarioResult &base = results[Scheme::Default];
-    const ScenarioResult &a4d = results[Scheme::A4d];
+    const ScenarioResult &base = *results[Scheme::Default];
+    const WorkloadResult *none = nullptr;
 
     std::printf("\n=== Fig. 13%s: %s scenario ===\n",
                 hpw_heavy ? "a" : "b",
@@ -47,15 +72,19 @@ runScenario(bool hpw_heavy)
              "A4-d", "A4-d hit"});
     for (const auto &w : base.workloads) {
         auto rel = [&](Scheme s) {
-            const WorkloadResult *r = results[s].find(w.name);
+            if (!results[s])
+                return std::string("-");
+            const WorkloadResult *r = results[s]->find(w.name);
             return Table::num(ratio(r ? r->perf : 0.0, w.perf));
         };
-        const WorkloadResult *d = a4d.find(w.name);
+        const WorkloadResult *d =
+            results[Scheme::A4d] ? results[Scheme::A4d]->find(w.name)
+                                 : none;
         std::string name = w.name + (d && d->antagonist ? "*" : "");
         t.addRow({name, w.hpw ? "HP" : "LP", rel(Scheme::Isolate),
                   rel(Scheme::A4a), rel(Scheme::A4b),
                   rel(Scheme::A4c), rel(Scheme::A4d),
-                  Table::pct(d ? d->llc_hit_rate : 0.0)});
+                  d ? Table::pct(d->llc_hit_rate) : "-"});
     }
     t.print();
 
@@ -65,8 +94,11 @@ runScenario(bool hpw_heavy)
         for (Scheme s :
              {Scheme::Isolate, Scheme::A4a, Scheme::A4b, Scheme::A4c,
               Scheme::A4d}) {
-            cells.push_back(Table::num(
-                ScenarioResult::avgRelative(results[s], base, filter)));
+            cells.push_back(
+                results[s]
+                    ? Table::num(ScenarioResult::avgRelative(
+                          *results[s], base, filter))
+                    : std::string("-"));
         }
         avg.addRow(cells);
     };
@@ -79,10 +111,24 @@ runScenario(bool hpw_heavy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    runScenario(true);
-    runScenario(false);
-    return 0;
+    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
+                              Scheme::A4a,     Scheme::A4b,
+                              Scheme::A4c,     Scheme::A4d};
+
+    Sweep sw("fig13_realworld", argc, argv);
+    for (bool hpw_heavy : {true, false}) {
+        for (Scheme s : schemes) {
+            sw.add(pointName(hpw_heavy, s), [hpw_heavy, s] {
+                return toRecord(runRealWorldScenario(hpw_heavy, s));
+            });
+        }
+    }
+    sw.run();
+
+    emitScenario(sw, true);
+    emitScenario(sw, false);
+    return sw.finish();
 }

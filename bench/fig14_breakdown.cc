@@ -12,6 +12,9 @@
  */
 
 #include <cstdio>
+#include <iterator>
+#include <optional>
+#include <vector>
 
 #include "harness/scenarios.hh"
 #include "harness/table.hh"
@@ -20,7 +23,7 @@
 using namespace a4;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
@@ -28,28 +31,44 @@ main()
                               Scheme::A4c,     Scheme::A4d};
     const char *labels[] = {"DF", "IS", "A4-a", "A4-b", "A4-c", "A4-d"};
 
-    std::vector<ScenarioResult> results;
-    for (Scheme s : schemes)
-        results.push_back(runRealWorldScenario(true, s));
+    Sweep sw("fig14_breakdown", argc, argv);
+    for (Scheme s : schemes) {
+        sw.add(schemeName(s), [s] {
+            return toRecord(runRealWorldScenario(true, s));
+        });
+    }
+    sw.run();
+
+    constexpr std::size_t n_schemes = std::size(schemes);
+    std::vector<std::optional<ScenarioResult>> results(n_schemes);
+    for (std::size_t i = 0; i < n_schemes; ++i) {
+        if (const Record *rec = sw.find(schemeName(schemes[i])))
+            results[i] = scenarioResultFrom(*rec);
+    }
 
     std::printf("=== Fig. 14a: Fastclick average latency breakdown "
                 "(us) ===\n");
     Table ta({"scheme", "NIC-to-host", "Pointer access",
               "Packet process"});
-    for (unsigned i = 0; i < 6; ++i) {
-        ta.addRow({labels[i], Table::num(results[i].fc_nic_to_host_us, 2),
-                   Table::num(results[i].fc_pointer_us, 3),
-                   Table::num(results[i].fc_process_us, 3)});
+    for (std::size_t i = 0; i < n_schemes; ++i) {
+        if (!results[i])
+            continue;
+        ta.addRow({labels[i],
+                   Table::num(results[i]->fc_nic_to_host_us, 2),
+                   Table::num(results[i]->fc_pointer_us, 3),
+                   Table::num(results[i]->fc_process_us, 3)});
     }
     ta.print();
 
     std::printf("\n=== Fig. 14b: FFSB-H average latency breakdown "
                 "(ms) ===\n");
     Table tb({"scheme", "Read", "RegEx", "Write"});
-    for (unsigned i = 0; i < 6; ++i) {
-        tb.addRow({labels[i], Table::num(results[i].ffsbh_read_ms, 2),
-                   Table::num(results[i].ffsbh_regex_ms, 2),
-                   Table::num(results[i].ffsbh_write_ms, 2)});
+    for (std::size_t i = 0; i < n_schemes; ++i) {
+        if (!results[i])
+            continue;
+        tb.addRow({labels[i], Table::num(results[i]->ffsbh_read_ms, 2),
+                   Table::num(results[i]->ffsbh_regex_ms, 2),
+                   Table::num(results[i]->ffsbh_write_ms, 2)});
     }
     tb.print();
 
@@ -57,21 +76,25 @@ main()
                 "===\n");
     Table tc({"scheme", "Fastclick rd", "Fastclick wr", "FFSB-H rd",
               "FFSB-H wr"});
-    for (unsigned i = 0; i < 6; ++i) {
-        tc.addRow({labels[i], Table::num(results[i].fc_rd_gbps),
-                   Table::num(results[i].fc_wr_gbps),
-                   Table::num(results[i].ffsbh_rd_gbps),
-                   Table::num(results[i].ffsbh_wr_gbps)});
+    for (std::size_t i = 0; i < n_schemes; ++i) {
+        if (!results[i])
+            continue;
+        tc.addRow({labels[i], Table::num(results[i]->fc_rd_gbps),
+                   Table::num(results[i]->fc_wr_gbps),
+                   Table::num(results[i]->ffsbh_rd_gbps),
+                   Table::num(results[i]->ffsbh_wr_gbps)});
     }
     tc.print();
 
     std::printf("\n=== Fig. 14d: system-wide memory bandwidth (GB/s) "
                 "===\n");
     Table td({"scheme", "Mem read", "Mem write"});
-    for (unsigned i = 0; i < 6; ++i) {
-        td.addRow({labels[i], Table::num(results[i].mem_rd_gbps),
-                   Table::num(results[i].mem_wr_gbps)});
+    for (std::size_t i = 0; i < n_schemes; ++i) {
+        if (!results[i])
+            continue;
+        td.addRow({labels[i], Table::num(results[i]->mem_rd_gbps),
+                   Table::num(results[i]->mem_wr_gbps)});
     }
     td.print();
-    return 0;
+    return sw.finish();
 }

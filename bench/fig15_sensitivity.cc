@@ -34,86 +34,137 @@ baseParams()
     return p;
 }
 
-void
-relRow(Table &t, const std::string &label, const ScenarioResult &r,
-       const ScenarioResult &base)
+Record
+runWith(const A4Params &p)
 {
-    t.addRow({label,
-              Table::num(ScenarioResult::avgRelative(r, base, true)),
-              Table::num(ScenarioResult::avgRelative(r, base, false)),
-              Table::num(
-                  ScenarioResult::avgRelative(r, base, std::nullopt))});
+    ScenarioOptions opt;
+    opt.a4_override = p;
+    return toRecord(runRealWorldScenario(true, Scheme::A4d, opt));
 }
+
+void
+relRow(Table &t, const Sweep &sw, const std::string &point,
+       const std::string &label, const ScenarioResult *base)
+{
+    const Record *rec = sw.find(point);
+    if (!rec)
+        return;
+    if (!base) {
+        t.addRow({label, "-", "-", "-"});
+        return;
+    }
+    ScenarioResult r = scenarioResultFrom(*rec);
+    t.addRow({label,
+              Table::num(ScenarioResult::avgRelative(r, *base, true)),
+              Table::num(ScenarioResult::avgRelative(r, *base, false)),
+              Table::num(
+                  ScenarioResult::avgRelative(r, *base, std::nullopt))});
+}
+
+struct Combo
+{
+    double t2, t3, t4;
+};
+
+const Combo kCombos[] = {
+    {0.40, 0.35, 0.40}, // defaults (detects FFSB-H)
+    {0.50, 0.35, 0.40},
+    {0.40, 0.40, 0.40},
+    {0.40, 0.35, 0.65},
+    {0.80, 0.35, 0.40}, // past the critical point
+    {0.40, 0.60, 0.40}, // storage share never this high
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    ScenarioResult base = runRealWorldScenario(true, Scheme::Default);
+    Sweep sw("fig15_sensitivity", argc, argv);
 
-    auto runWith = [&](const A4Params &p) {
-        ScenarioOptions opt;
-        opt.a4_override = p;
-        return runRealWorldScenario(true, Scheme::A4d, opt);
-    };
+    sw.add("base", [] {
+        return toRecord(runRealWorldScenario(true, Scheme::Default));
+    });
+    for (double t5 : {0.95, 0.90, 0.80}) {
+        sw.add(sformat("a/T5=%.0f", t5 * 100), [t5] {
+            A4Params p = baseParams();
+            p.ant_cache_miss_thr = t5;
+            return runWith(p);
+        });
+    }
+    for (double t1 : {0.30, 0.20}) {
+        sw.add(sformat("a/T1=%.0f", t1 * 100), [t1] {
+            A4Params p = baseParams();
+            p.hpw_llc_hit_thr = t1;
+            return runWith(p);
+        });
+    }
+    for (const Combo &c : kCombos) {
+        sw.add(sformat("b/T2=%.0f,T3=%.0f,T4=%.0f", c.t2 * 100,
+                       c.t3 * 100, c.t4 * 100),
+               [c] {
+                   A4Params p = baseParams();
+                   p.dmalk_dca_ms_thr = c.t2;
+                   p.dmalk_io_tp_thr = c.t3;
+                   p.dmalk_llc_ms_thr = c.t4;
+                   return runWith(p);
+               });
+    }
+    for (unsigned si : {1u, 5u, 10u, 20u}) {
+        sw.add(sformat("c/stable=%u", si), [si] {
+            A4Params p = baseParams();
+            p.stable_intervals = si;
+            return runWith(p);
+        });
+    }
+    sw.add("c/oracle", [] {
+        A4Params p = baseParams();
+        p.enable_revert = false;
+        return runWith(p);
+    });
+    sw.run();
+
+    const Record *base_rec = sw.find("base");
+    ScenarioResult base_val;
+    const ScenarioResult *base = nullptr;
+    if (base_rec) {
+        base_val = scenarioResultFrom(*base_rec);
+        base = &base_val;
+    }
 
     std::printf("=== Fig. 15a: partitioning thresholds (T1, T5) ===\n");
     Table ta({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
     for (double t5 : {0.95, 0.90, 0.80}) {
-        A4Params p = baseParams();
-        p.ant_cache_miss_thr = t5;
-        relRow(ta, sformat("T5=%.0f%% T1=20%%", t5 * 100),
-               runWith(p), base);
+        relRow(ta, sw, sformat("a/T5=%.0f", t5 * 100),
+               sformat("T5=%.0f%% T1=20%%", t5 * 100), base);
     }
     for (double t1 : {0.30, 0.20}) {
-        A4Params p = baseParams();
-        p.hpw_llc_hit_thr = t1;
-        relRow(ta, sformat("T5=90%% T1=%.0f%%", t1 * 100),
-               runWith(p), base);
+        relRow(ta, sw, sformat("a/T1=%.0f", t1 * 100),
+               sformat("T5=90%% T1=%.0f%%", t1 * 100), base);
     }
     ta.print();
 
     std::printf("\n=== Fig. 15b: leak-detection thresholds "
                 "(T2/T3/T4) ===\n");
     Table tb({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
-    struct Combo
-    {
-        double t2, t3, t4;
-    };
-    const Combo combos[] = {
-        {0.40, 0.35, 0.40}, // defaults (detects FFSB-H)
-        {0.50, 0.35, 0.40},
-        {0.40, 0.40, 0.40},
-        {0.40, 0.35, 0.65},
-        {0.80, 0.35, 0.40}, // past the critical point
-        {0.40, 0.60, 0.40}, // storage share never this high
-    };
-    for (const Combo &c : combos) {
-        A4Params p = baseParams();
-        p.dmalk_dca_ms_thr = c.t2;
-        p.dmalk_io_tp_thr = c.t3;
-        p.dmalk_llc_ms_thr = c.t4;
-        relRow(tb,
+    for (const Combo &c : kCombos) {
+        relRow(tb, sw,
+               sformat("b/T2=%.0f,T3=%.0f,T4=%.0f", c.t2 * 100,
+                       c.t3 * 100, c.t4 * 100),
                sformat("T2=%.0f%% T3=%.0f%% T4=%.0f%%", c.t2 * 100,
                        c.t3 * 100, c.t4 * 100),
-               runWith(p), base);
+               base);
     }
     tb.print();
 
     std::printf("\n=== Fig. 15c: stable interval vs oracle ===\n");
     Table tc({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
     for (unsigned si : {1u, 5u, 10u, 20u}) {
-        A4Params p = baseParams();
-        p.stable_intervals = si;
-        relRow(tc, sformat("stable=%u", si), runWith(p), base);
+        relRow(tc, sw, sformat("c/stable=%u", si),
+               sformat("stable=%u", si), base);
     }
-    {
-        A4Params p = baseParams();
-        p.enable_revert = false;
-        relRow(tc, "oracle", runWith(p), base);
-    }
+    relRow(tc, sw, "c/oracle", "oracle", base);
     tc.print();
-    return 0;
+    return sw.finish();
 }

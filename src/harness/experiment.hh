@@ -12,11 +12,16 @@
 #ifndef A4_HARNESS_EXPERIMENT_HH
 #define A4_HARNESS_EXPERIMENT_HH
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "harness/testbed.hh"
 #include "pcm/monitor.hh"
+#include "sim/log.hh"
 #include "workload/workload.hh"
 
 namespace a4
@@ -29,23 +34,113 @@ struct Windows
     Tick measure = 150 * kMsec;
 
     /**
-     * Default windows, honouring the A4_BENCH_WINDOWS_MS environment
-     * variable ("<warmup>:<measure>", milliseconds) so the full-
-     * fidelity runs recorded in EXPERIMENTS.md can use longer ones.
+     * Env-knob rejection diagnostic, straight to stderr: the benches
+     * run under setQuiet(true) and a silently ignored knob is worse
+     * than a noisy one. Dedups per offending value so a multi-point
+     * sweep (and workers forked after the parent validated once,
+     * which inherit @p warned) prints one line, not one per Windows
+     * construction.
      */
-    static Windows
-    fromEnv()
+    static void
+    warnOncePerValue(std::string &warned, const char *value,
+                     const char *format)
     {
-        Windows w;
+        if (warned == value)
+            return;
+        warned = value;
+        std::fprintf(stderr, format, value);
+    }
+
+    /**
+     * Adjust @p defaults by the environment knobs:
+     *
+     *  - A4_TEST_DURATION_SCALE (positive float) multiplies both
+     *    windows — the same knob the test suite uses, so a fractional
+     *    value compresses a figure sweep into a smoke run and the
+     *    soak value stretches it;
+     *  - A4_BENCH_WINDOWS_MS ("<warmup>:<measure>", integer
+     *    milliseconds) overrides both windows exactly, ignoring the
+     *    scale — the explicit knob for the full-fidelity runs
+     *    recorded in EXPERIMENTS.md.
+     *
+     * Malformed values are rejected with a warning, never
+     * half-parsed.
+     */
+    /**
+     * $A4_TEST_DURATION_SCALE as a window multiplier, 1.0 when unset
+     * or malformed (with a warning). The single parser for the knob:
+     * fromEnv() and the test suite's stretch() both use it.
+     */
+    static double
+    durationScale()
+    {
+        if (const char *env = std::getenv("A4_TEST_DURATION_SCALE")) {
+            char *end = nullptr;
+            const double s = std::strtod(env, &end);
+            // The cap keeps double(window) * s well inside Tick when
+            // converted back (and rejects inf/nan outright): an
+            // out-of-range double-to-integer conversion is UB.
+            constexpr double max_scale = 1e6;
+            if (end && end != env && *end == '\0' && s > 0.0 &&
+                s <= max_scale) {
+                return s;
+            }
+            // The parse itself is never memoized — tests change the
+            // env between calls and expect fromEnv() to follow.
+            static std::string warned;
+            warnOncePerValue(warned, env,
+                             "warning: A4_TEST_DURATION_SCALE: "
+                             "ignoring malformed value '%s'\n");
+        }
+        return 1.0;
+    }
+
+    static Windows
+    fromEnv(Windows defaults)
+    {
+        Windows w = defaults;
+        if (const double s = durationScale(); s != 1.0) {
+            w.warmup = std::max<Tick>(Tick(double(w.warmup) * s), 1);
+            w.measure = std::max<Tick>(Tick(double(w.measure) * s), 1);
+        }
         if (const char *env = std::getenv("A4_BENCH_WINDOWS_MS")) {
-            unsigned long a = 0, b = 0;
-            if (std::sscanf(env, "%lu:%lu", &a, &b) == 2 && a && b) {
-                w.warmup = a * kMsec;
-                w.measure = b * kMsec;
+            // strtoul, not sscanf %lu: the latter silently saturates
+            // on overflow, which would smuggle a garbage window past
+            // the "rejected, never half-parsed" contract.
+            const char *colon = std::strchr(env, ':');
+            bool ok = colon && colon != env && colon[1] != '\0' &&
+                      std::strchr(colon + 1, ':') == nullptr &&
+                      env[std::strspn(env, "0123456789:")] == '\0';
+            if (ok) {
+                // Caps far above any real run but far below Tick
+                // overflow once scaled to nanoseconds.
+                constexpr unsigned long max_ms = 1000UL * 1000 * 1000;
+                errno = 0;
+                char *end = nullptr;
+                const unsigned long a = std::strtoul(env, &end, 10);
+                const unsigned long b =
+                    std::strtoul(colon + 1, &end, 10);
+                ok = errno == 0 && a > 0 && b > 0 && a <= max_ms &&
+                     b <= max_ms;
+                if (ok) {
+                    w.warmup = a * kMsec;
+                    w.measure = b * kMsec;
+                }
+            }
+            if (!ok) {
+                static std::string warned;
+                warnOncePerValue(warned, env,
+                                 "warning: A4_BENCH_WINDOWS_MS: "
+                                 "ignoring malformed value '%s' (want "
+                                 "\"<warmup>:<measure>\" in whole "
+                                 "positive milliseconds)\n");
             }
         }
         return w;
     }
+
+    /** The standard bench windows, adjusted by the environment. */
+    static Windows fromEnv() { return fromEnv(Windows{}); }
 };
 
 /** One warm-up + measurement pass over a set of workloads. */

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Process-parallel job pool for the sweep runner.
+ *
+ * Each job is executed in its own fork()ed child so it gets a
+ * pristine address space (fresh Engine/Testbed, untouched globals);
+ * the child's string payload travels back over a pipe and the pool
+ * returns all payloads in submission order. Determinism is therefore
+ * free: a job computes the same bytes whether it runs first, last, or
+ * concurrently with every other job.
+ *
+ * With max_jobs == 1 the pool runs every job in-process instead —
+ * the debugging/fallback path, and the reference the parallel path
+ * must match byte-for-byte.
+ */
+
+#ifndef A4_HARNESS_JOBPOOL_HH
+#define A4_HARNESS_JOBPOOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace a4
+{
+
+/** Bounded pool of fork()-per-job workers. */
+class JobPool
+{
+  public:
+    /** @p max_jobs concurrent children; 1 selects in-process mode. */
+    explicit JobPool(unsigned max_jobs);
+
+    /**
+     * Run @p n jobs and return their payloads in index order.
+     *
+     * @p fn computes job @p i's payload (in a child process when
+     * max_jobs > 1). @p label names job @p i for error messages. A
+     * child that exits non-zero or dies on a signal aborts the whole
+     * run with fatal(); remaining children are killed and reaped
+     * first.
+     */
+    std::vector<std::string>
+    run(std::size_t n, const std::function<std::string(std::size_t)> &fn,
+        const std::function<std::string(std::size_t)> &label);
+
+    unsigned maxJobs() const { return max_jobs_; }
+
+  private:
+    unsigned max_jobs_;
+};
+
+} // namespace a4
+
+#endif // A4_HARNESS_JOBPOOL_HH

@@ -311,4 +311,93 @@ runMicroScenario(Scheme scheme, unsigned packet_bytes,
     return res;
 }
 
+Record
+toRecord(const MicroResult &r)
+{
+    Record rec;
+    for (unsigned v = 0; v < 3; ++v) {
+        rec.set(sformat("x%u_ipc", v + 1), r.xmem_ipc[v]);
+        rec.set(sformat("x%u_hit", v + 1), r.xmem_hit[v]);
+    }
+    rec.set("net_tail_us", r.net_tail_us);
+    rec.set("net_rd_gbps", r.net_rd_gbps);
+    return rec;
+}
+
+MicroResult
+microResultFrom(const Record &rec)
+{
+    MicroResult r;
+    for (unsigned v = 0; v < 3; ++v) {
+        r.xmem_ipc[v] = rec.num(sformat("x%u_ipc", v + 1));
+        r.xmem_hit[v] = rec.num(sformat("x%u_hit", v + 1));
+    }
+    r.net_tail_us = rec.num("net_tail_us");
+    r.net_rd_gbps = rec.num("net_rd_gbps");
+    return r;
+}
+
+Record
+toRecord(const ScenarioResult &r)
+{
+    Record rec;
+    rec.set("workloads", double(r.workloads.size()));
+    for (std::size_t i = 0; i < r.workloads.size(); ++i) {
+        const WorkloadResult &w = r.workloads[i];
+        const std::string p = sformat("w%zu.", i);
+        rec.set(p + "name", w.name);
+        rec.set(p + "hpw", w.hpw ? 1.0 : 0.0);
+        rec.set(p + "mtio", w.multithread_io ? 1.0 : 0.0);
+        rec.set(p + "perf", w.perf);
+        rec.set(p + "hit", w.llc_hit_rate);
+        rec.set(p + "ant", w.antagonist ? 1.0 : 0.0);
+        rec.set(p + "tail_us", w.tail_latency_us);
+    }
+    rec.set("fc_nic_to_host_us", r.fc_nic_to_host_us);
+    rec.set("fc_pointer_us", r.fc_pointer_us);
+    rec.set("fc_process_us", r.fc_process_us);
+    rec.set("ffsbh_read_ms", r.ffsbh_read_ms);
+    rec.set("ffsbh_regex_ms", r.ffsbh_regex_ms);
+    rec.set("ffsbh_write_ms", r.ffsbh_write_ms);
+    rec.set("fc_rd_gbps", r.fc_rd_gbps);
+    rec.set("fc_wr_gbps", r.fc_wr_gbps);
+    rec.set("ffsbh_rd_gbps", r.ffsbh_rd_gbps);
+    rec.set("ffsbh_wr_gbps", r.ffsbh_wr_gbps);
+    rec.set("mem_rd_gbps", r.mem_rd_gbps);
+    rec.set("mem_wr_gbps", r.mem_wr_gbps);
+    return rec;
+}
+
+ScenarioResult
+scenarioResultFrom(const Record &rec)
+{
+    ScenarioResult r;
+    const std::size_t n = std::size_t(rec.num("workloads"));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string p = sformat("w%zu.", i);
+        WorkloadResult w;
+        w.name = rec.str(p + "name");
+        w.hpw = rec.num(p + "hpw") != 0.0;
+        w.multithread_io = rec.num(p + "mtio") != 0.0;
+        w.perf = rec.num(p + "perf");
+        w.llc_hit_rate = rec.num(p + "hit");
+        w.antagonist = rec.num(p + "ant") != 0.0;
+        w.tail_latency_us = rec.num(p + "tail_us");
+        r.workloads.push_back(std::move(w));
+    }
+    r.fc_nic_to_host_us = rec.num("fc_nic_to_host_us");
+    r.fc_pointer_us = rec.num("fc_pointer_us");
+    r.fc_process_us = rec.num("fc_process_us");
+    r.ffsbh_read_ms = rec.num("ffsbh_read_ms");
+    r.ffsbh_regex_ms = rec.num("ffsbh_regex_ms");
+    r.ffsbh_write_ms = rec.num("ffsbh_write_ms");
+    r.fc_rd_gbps = rec.num("fc_rd_gbps");
+    r.fc_wr_gbps = rec.num("fc_wr_gbps");
+    r.ffsbh_rd_gbps = rec.num("ffsbh_rd_gbps");
+    r.ffsbh_wr_gbps = rec.num("ffsbh_wr_gbps");
+    r.mem_rd_gbps = rec.num("mem_rd_gbps");
+    r.mem_wr_gbps = rec.num("mem_wr_gbps");
+    return r;
+}
+
 } // namespace a4

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "harness/testbed.hh"
 
 namespace a4
@@ -84,8 +85,10 @@ struct ScenarioResult
 struct ScenarioOptions
 {
     /** Warm-up covers the A4 convergence transient (~40 monitoring
-     *  intervals at the compressed 5 ms period). */
-    Windows windows{250 * kMsec, 100 * kMsec};
+     *  intervals at the compressed 5 ms period); the environment
+     *  knobs (A4_TEST_DURATION_SCALE / A4_BENCH_WINDOWS_MS) adjust
+     *  it like every other bench window. */
+    Windows windows = Windows::fromEnv(Windows{250 * kMsec, 100 * kMsec});
     /** Overrides thresholds/timing of the A4 variants (Fig. 15). */
     std::optional<A4Params> a4_override;
 };
@@ -113,6 +116,13 @@ struct MicroResult
 MicroResult runMicroScenario(Scheme scheme, unsigned packet_bytes,
                              std::uint64_t storage_block,
                              const ScenarioOptions &opt = {});
+
+/** @name Sweep-pipe codecs for the scenario result structs. @{ */
+Record toRecord(const MicroResult &r);
+MicroResult microResultFrom(const Record &r);
+Record toRecord(const ScenarioResult &r);
+ScenarioResult scenarioResultFrom(const Record &r);
+/** @} */
 
 } // namespace a4
 

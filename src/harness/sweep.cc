@@ -1,0 +1,490 @@
+#include "harness/sweep.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <exception>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "harness/experiment.hh"
+#include "harness/jobpool.hh"
+#include "sim/log.hh"
+
+namespace a4
+{
+
+// --------------------------------------------------------------------
+// Record
+
+namespace
+{
+
+/** Escape for the pipe codec: keys/strings become space-free. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '%' || ch == ' ' || ch == '\n' || ch == '\r')
+            out += sformat("%%%02x", (unsigned char)ch);
+        else
+            out += ch;
+    }
+    return out;
+}
+
+std::string
+unescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            out += char(std::stoi(s.substr(i + 1, 2), nullptr, 16));
+            i += 2;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Record::Entry *
+Record::find(const std::string &key)
+{
+    for (Entry &e : entries_) {
+        if (e.key == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+const Record::Entry *
+Record::find(const std::string &key) const
+{
+    return const_cast<Record *>(this)->find(key);
+}
+
+void
+Record::set(const std::string &key, double v)
+{
+    if (Entry *e = find(key)) {
+        *e = Entry{key, true, v, {}};
+        return;
+    }
+    entries_.push_back(Entry{key, true, v, {}});
+}
+
+void
+Record::set(const std::string &key, const std::string &v)
+{
+    if (Entry *e = find(key)) {
+        *e = Entry{key, false, 0.0, v};
+        return;
+    }
+    entries_.push_back(Entry{key, false, 0.0, v});
+}
+
+double
+Record::num(const std::string &key) const
+{
+    const Entry *e = find(key);
+    if (!e || !e->is_num)
+        fatal(sformat("Record: no numeric value '%s'", key.c_str()));
+    return e->num;
+}
+
+const std::string &
+Record::str(const std::string &key) const
+{
+    const Entry *e = find(key);
+    if (!e || e->is_num)
+        fatal(sformat("Record: no string value '%s'", key.c_str()));
+    return e->str;
+}
+
+bool
+Record::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+std::string
+Record::serialize() const
+{
+    std::string out;
+    for (const Entry &e : entries_) {
+        if (e.is_num) {
+            // %a is exact: the reader recovers the identical double.
+            out += sformat("N %s %a\n", escape(e.key).c_str(), e.num);
+        } else {
+            out += sformat("S %s %s\n", escape(e.key).c_str(),
+                           escape(e.str).c_str());
+        }
+    }
+    return out;
+}
+
+Record
+Record::deserialize(const std::string &blob)
+{
+    Record r;
+    std::size_t pos = 0;
+    while (pos < blob.size()) {
+        std::size_t eol = blob.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = blob.size();
+        const std::string line = blob.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        std::size_t s1 = line.find(' ');
+        std::size_t s2 =
+            s1 == std::string::npos ? s1 : line.find(' ', s1 + 1);
+        if (line.size() < 2 || s1 != 1 || s2 == std::string::npos)
+            fatal(sformat("Record: malformed line '%s'", line.c_str()));
+        const std::string key =
+            unescape(line.substr(s1 + 1, s2 - s1 - 1));
+        const std::string val = line.substr(s2 + 1);
+        if (line[0] == 'N') {
+            char *end = nullptr;
+            double v = std::strtod(val.c_str(), &end);
+            if (!end || *end != '\0')
+                fatal(sformat("Record: bad number '%s'", val.c_str()));
+            r.set(key, v);
+        } else if (line[0] == 'S') {
+            r.set(key, unescape(val));
+        } else {
+            fatal(sformat("Record: unknown tag in '%s'", line.c_str()));
+        }
+    }
+    return r;
+}
+
+// --------------------------------------------------------------------
+// SweepOptions
+
+namespace
+{
+
+[[noreturn]] void
+usage(const std::string &bench, int code)
+{
+    std::FILE *out = code ? stderr : stdout;
+    std::fprintf(out,
+                 "usage: %s [--jobs N] [--filter SUBSTR] [--json PATH] "
+                 "[--list]\n"
+                 "  --jobs N, -j N  worker processes (default: $A4_JOBS,"
+                 " else all hardware\n"
+                 "                  threads); 1 runs points in-process\n"
+                 "  --filter SUBSTR run only points whose name contains "
+                 "SUBSTR\n"
+                 "  --json PATH     also write results as JSON to PATH\n"
+                 "  --list          print the point names (after "
+                 "--filter) and exit\n",
+                 bench.c_str());
+    std::exit(code);
+}
+
+/** "--opt value" / "--opt=value" accessor; advances @p i. */
+bool
+optValue(const std::string &bench, int argc, char **argv, int &i,
+         const char *name, std::string &out)
+{
+    const std::string arg = argv[i];
+    const std::string flag = name;
+    if (arg == flag) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs a value\n",
+                         bench.c_str(), name);
+            usage(bench, 2);
+        }
+        out = argv[++i];
+        return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+        out = arg.substr(flag.size() + 1);
+        return true;
+    }
+    return false;
+}
+
+unsigned
+parseJobs(const std::string &bench, const std::string &val)
+{
+    char *end = nullptr;
+    long v = std::strtol(val.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 1) {
+        std::fprintf(stderr, "%s: bad --jobs value '%s'\n",
+                     bench.c_str(), val.c_str());
+        usage(bench, 2);
+    }
+    return unsigned(v);
+}
+
+} // namespace
+
+SweepOptions
+SweepOptions::parse(const std::string &bench, int argc, char **argv)
+{
+    SweepOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string val;
+        if (arg == "--help" || arg == "-h") {
+            usage(bench, 0);
+        } else if (optValue(bench, argc, argv, i, "--jobs", val) ||
+                   optValue(bench, argc, argv, i, "-j", val)) {
+            opt.jobs = parseJobs(bench, val);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2 &&
+                   arg[2] != '=') {
+            opt.jobs = parseJobs(bench, arg.substr(2));
+        } else if (optValue(bench, argc, argv, i, "--filter", val)) {
+            opt.filter = val;
+        } else if (optValue(bench, argc, argv, i, "--json", val)) {
+            opt.json_path = val;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         bench.c_str(), arg.c_str());
+            usage(bench, 2);
+        }
+    }
+    return opt;
+}
+
+unsigned
+SweepOptions::effectiveJobs() const
+{
+    if (jobs)
+        return jobs;
+    if (const char *env = std::getenv("A4_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1)
+            return unsigned(v);
+        // stderr, not warn(): benches run quiet (see
+        // Windows::warnOncePerValue for the rationale).
+        std::fprintf(stderr,
+                     "warning: A4_JOBS: ignoring malformed value "
+                     "'%s'\n", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+// --------------------------------------------------------------------
+// Sweep
+
+Sweep::Sweep(std::string bench, int argc, char **argv)
+    : Sweep(bench, SweepOptions::parse(bench, argc, argv))
+{
+}
+
+Sweep::Sweep(std::string bench, SweepOptions opt)
+    : bench_(std::move(bench)), opt_(std::move(opt))
+{
+}
+
+void
+Sweep::add(std::string point, std::function<Record()> fn)
+{
+    if (ran_)
+        fatal(sformat("sweep %s: add('%s') after run()",
+                      bench_.c_str(), point.c_str()));
+    for (const Point &p : points_) {
+        if (p.name == point)
+            fatal(sformat("sweep %s: duplicate point '%s'",
+                          bench_.c_str(), point.c_str()));
+    }
+    Point p;
+    p.name = std::move(point);
+    p.fn = std::move(fn);
+    points_.push_back(std::move(p));
+}
+
+void
+Sweep::run()
+{
+    if (ran_)
+        fatal(sformat("sweep %s: run() called twice", bench_.c_str()));
+    ran_ = true;
+
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        points_[i].selected =
+            opt_.filter.empty() ||
+            points_[i].name.find(opt_.filter) != std::string::npos;
+        if (points_[i].selected)
+            selected.push_back(i);
+    }
+
+    if (opt_.list) {
+        for (std::size_t i : selected)
+            std::printf("%s\n", points_[i].name.c_str());
+        std::exit(0);
+    }
+
+    // Validate the window env knobs once, in the parent: their
+    // rejection diagnostics print here, and the forked workers
+    // inherit the dedup state so they stay silent.
+    Windows::fromEnv();
+
+    jobs_used_ =
+        std::min<std::size_t>(opt_.effectiveJobs(),
+                              std::max<std::size_t>(selected.size(), 1));
+    JobPool pool(jobs_used_);
+    std::vector<std::string> payloads = pool.run(
+        selected.size(),
+        [&](std::size_t i) {
+            return points_[selected[i]].fn().serialize();
+        },
+        [&](std::size_t i) { return points_[selected[i]].name; });
+
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        Point &p = points_[selected[i]];
+        try {
+            p.result = Record::deserialize(payloads[i]);
+        } catch (const std::exception &e) {
+            // std::exception, not just FatalError: a garbled escape
+            // sequence surfaces as std::stoi's invalid_argument.
+            // A truncated payload from a worker whose death went
+            // unreported (unreapable child) lands here; name the
+            // point instead of surfacing a bare codec error.
+            fatal(sformat("sweep %s: point '%s' returned a corrupt "
+                          "payload (%s)",
+                          bench_.c_str(), p.name.c_str(), e.what()));
+        }
+        p.done = true;
+    }
+}
+
+const Record *
+Sweep::find(const std::string &point) const
+{
+    if (!ran_)
+        fatal(sformat("sweep %s: find('%s') before run()",
+                      bench_.c_str(), point.c_str()));
+    for (const Point &p : points_) {
+        if (p.name == point)
+            return p.done ? &p.result : nullptr;
+    }
+    fatal(sformat("sweep %s: unknown point '%s'", bench_.c_str(),
+                  point.c_str()));
+}
+
+const Record &
+Sweep::at(const std::string &point) const
+{
+    const Record *r = find(point);
+    if (!r)
+        fatal(sformat("sweep %s: point '%s' was filtered out",
+                      bench_.c_str(), point.c_str()));
+    return *r;
+}
+
+std::vector<std::string>
+Sweep::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(points_.size());
+    for (const Point &p : points_)
+        out.push_back(p.name);
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)ch < 0x20)
+                out += sformat("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf
+    // 17 significant digits round-trip any double exactly.
+    return sformat("%.17g", v);
+}
+
+} // namespace
+
+void
+Sweep::writeJson(const std::string &path) const
+{
+    if (!ran_)
+        fatal(sformat("sweep %s: writeJson() before run()",
+                      bench_.c_str()));
+    std::ofstream out(path);
+    if (!out)
+        fatal(sformat("sweep %s: cannot write '%s'", bench_.c_str(),
+                      path.c_str()));
+    out << "{\n";
+    out << "  \"bench\": \"" << jsonEscape(bench_) << "\",\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"jobs\": " << jobs_used_ << ",\n";
+    if (!opt_.filter.empty())
+        out << "  \"filter\": \"" << jsonEscape(opt_.filter) << "\",\n";
+    out << "  \"points\": [";
+    bool first_point = true;
+    for (const Point &p : points_) {
+        if (!p.done)
+            continue;
+        out << (first_point ? "\n" : ",\n");
+        first_point = false;
+        out << "    {\"name\": \"" << jsonEscape(p.name)
+            << "\", \"metrics\": {";
+        bool first_kv = true;
+        for (const Record::Entry &e : p.result.entries()) {
+            out << (first_kv ? "" : ", ");
+            first_kv = false;
+            out << "\"" << jsonEscape(e.key) << "\": ";
+            if (e.is_num)
+                out << jsonNumber(e.num);
+            else
+                out << "\"" << jsonEscape(e.str) << "\"";
+        }
+        out << "}}";
+    }
+    out << "\n  ]\n}\n";
+    if (!out.flush())
+        fatal(sformat("sweep %s: write to '%s' failed", bench_.c_str(),
+                      path.c_str()));
+}
+
+int
+Sweep::finish() const
+{
+    if (!opt_.json_path.empty())
+        writeJson(opt_.json_path);
+    return 0;
+}
+
+} // namespace a4

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Sweep runner: declare a figure's grid of named points, execute them
+ * across all cores, and read the results back in declaration order.
+ *
+ * Every figure bench is a grid of independent, deterministic Testbed
+ * runs (scheme x packet size x block size x ...). A bench declares
+ * each grid point once with add(), calls run(), and then renders its
+ * tables from the collected Records; the runner shards the points
+ * over a fork()-per-point JobPool and reassembles the rows in
+ * declaration order, so the printed tables are byte-identical to a
+ * sequential run no matter how many workers raced.
+ *
+ * All benches share one CLI (parsed by the Sweep constructor):
+ *
+ *   --jobs N / -j N   worker processes (default: $A4_JOBS, else all
+ *                     hardware threads); 1 runs points in-process
+ *   --filter SUBSTR   run only points whose name contains SUBSTR
+ *   --json PATH       also write the results as JSON (see writeJson)
+ *   --list            print the point names (after --filter) and exit
+ *
+ * Record values round-trip through the worker pipe as C99 hex floats,
+ * so a parallel run reproduces the in-process doubles bit for bit.
+ */
+
+#ifndef A4_HARNESS_SWEEP_HH
+#define A4_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace a4
+{
+
+/** Ordered name -> value results of one sweep point. */
+class Record
+{
+  public:
+    struct Entry
+    {
+        std::string key;
+        bool is_num = true;
+        double num = 0.0;
+        std::string str;
+    };
+
+    /** Set @p key to a numeric (or string) value; last set wins. */
+    void set(const std::string &key, double v);
+    void set(const std::string &key, const std::string &v);
+
+    /** Value of @p key (fatal when absent or of the other kind). */
+    double num(const std::string &key) const;
+    const std::string &str(const std::string &key) const;
+
+    bool has(const std::string &key) const;
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Lossless text codec used on the worker pipe. */
+    std::string serialize() const;
+    static Record deserialize(const std::string &blob);
+
+  private:
+    Entry *find(const std::string &key);
+    const Entry *find(const std::string &key) const;
+
+    std::vector<Entry> entries_;
+};
+
+/** Parsed shared bench CLI. */
+struct SweepOptions
+{
+    unsigned jobs = 0; ///< 0 = auto ($A4_JOBS, else hw threads)
+    std::string filter;
+    std::string json_path;
+    bool list = false;
+
+    /** Parse argv; prints usage and exits on --help / bad args. */
+    static SweepOptions parse(const std::string &bench, int argc,
+                              char **argv);
+
+    /** Resolved worker count (auto -> env/hardware). */
+    unsigned effectiveJobs() const;
+};
+
+/** A figure bench's declared grid of named points. */
+class Sweep
+{
+  public:
+    /** Bench entry point: parses the shared CLI from @p argv. */
+    Sweep(std::string bench, int argc, char **argv);
+
+    /** Embedding entry point (tests): explicit options. */
+    Sweep(std::string bench, SweepOptions opt);
+
+    /** Declare a grid point (fatal on duplicate names). */
+    void add(std::string point, std::function<Record()> fn);
+
+    /**
+     * Execute all points matching --filter, --jobs at a time, and
+     * collect their Records in declaration order. Call once.
+     */
+    void run();
+
+    /** Result of @p point; null when filtered out. */
+    const Record *find(const std::string &point) const;
+
+    /** Result of @p point (fatal when filtered out). */
+    const Record &at(const std::string &point) const;
+
+    /** Declared point names, in order. */
+    std::vector<std::string> names() const;
+
+    const std::string &bench() const { return bench_; }
+    const SweepOptions &options() const { return opt_; }
+
+    /**
+     * Write collected results to @p path as JSON:
+     * { "bench": ..., "schema_version": 1, "jobs": N,
+     *   "points": [ {"name": ..., "metrics": {k: v, ...}}, ... ] }
+     */
+    void writeJson(const std::string &path) const;
+
+    /** Bench epilogue: honours --json; returns main()'s exit code. */
+    int finish() const;
+
+  private:
+    struct Point
+    {
+        std::string name;
+        std::function<Record()> fn;
+        bool selected = false;
+        bool done = false;
+        Record result;
+    };
+
+    std::string bench_;
+    SweepOptions opt_;
+    std::vector<Point> points_;
+    bool ran_ = false;
+    unsigned jobs_used_ = 0; ///< workers run() actually used
+};
+
+} // namespace a4
+
+#endif // A4_HARNESS_SWEEP_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/sweep.hh"
 #include "sim/log.hh"
 
 namespace a4
@@ -50,6 +51,12 @@ std::string
 Table::num(double v, int digits)
 {
     return sformat("%.*f", digits, v);
+}
+
+std::string
+Table::num(const Record *r, const std::string &key, int digits)
+{
+    return r ? num(r->num(key), digits) : std::string("-");
 }
 
 std::string

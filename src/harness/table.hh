@@ -16,6 +16,8 @@
 namespace a4
 {
 
+class Record;
+
 /** Column-aligned table with a header row. */
 class Table
 {
@@ -32,6 +34,13 @@ class Table
 
     /** Convenience: format a double with @p digits decimals. */
     static std::string num(double v, int digits = 2);
+
+    /**
+     * Numeric cell from a sweep Record: "-" when @p r is null (the
+     * point was dropped by --filter).
+     */
+    static std::string num(const Record *r, const std::string &key,
+                           int digits = 2);
 
     /** Format a ratio as a percentage string. */
     static std::string pct(double v, int digits = 1);

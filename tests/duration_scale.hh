@@ -12,26 +12,26 @@
 #ifndef A4_TESTS_DURATION_SCALE_HH
 #define A4_TESTS_DURATION_SCALE_HH
 
-#include <cstdlib>
-
+#include "harness/experiment.hh"
 #include "sim/types.hh"
 
 namespace a4::test
 {
 
-/** Multiply a simulation window by $A4_TEST_DURATION_SCALE (>= 1). */
+/**
+ * Multiply a simulation window by $A4_TEST_DURATION_SCALE (>= 1).
+ *
+ * Shares Windows::durationScale()'s parser with the figure benches,
+ * but clamps fractional values to 1: the default test windows are
+ * already hand-compressed to the assertion margins, so the knob only
+ * stretches them (the soak registrations' job) and never shrinks.
+ */
 inline Tick
 stretch(Tick window)
 {
-    static const unsigned scale = [] {
-        if (const char *env = std::getenv("A4_TEST_DURATION_SCALE")) {
-            const long v = std::atol(env);
-            if (v > 1)
-                return static_cast<unsigned>(v);
-        }
-        return 1u;
-    }();
-    return window * scale;
+    static const double scale =
+        std::max(Windows::durationScale(), 1.0);
+    return Tick(double(window) * scale);
 }
 
 } // namespace a4::test

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Windows environment parsing: the strict A4_BENCH_WINDOWS_MS
+ * override (malformed values are rejected, never half-parsed) and
+ * the A4_TEST_DURATION_SCALE multiplier shared with the test suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "harness/experiment.hh"
+
+using namespace a4;
+
+namespace
+{
+
+/** Save/clear the two env knobs for a test, restore on destruction. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        save("A4_BENCH_WINDOWS_MS", windows_);
+        save("A4_TEST_DURATION_SCALE", scale_);
+        unsetenv("A4_BENCH_WINDOWS_MS");
+        unsetenv("A4_TEST_DURATION_SCALE");
+    }
+
+    ~EnvGuard()
+    {
+        restore("A4_BENCH_WINDOWS_MS", windows_);
+        restore("A4_TEST_DURATION_SCALE", scale_);
+    }
+
+  private:
+    static void
+    save(const char *name, std::optional<std::string> &slot)
+    {
+        if (const char *v = std::getenv(name))
+            slot = v;
+    }
+
+    static void
+    restore(const char *name, const std::optional<std::string> &slot)
+    {
+        if (slot)
+            setenv(name, slot->c_str(), 1);
+        else
+            unsetenv(name);
+    }
+
+    std::optional<std::string> windows_;
+    std::optional<std::string> scale_;
+};
+
+} // namespace
+
+TEST(Windows, DefaultsWithoutEnv)
+{
+    EnvGuard env;
+    Windows w = Windows::fromEnv();
+    EXPECT_EQ(w.warmup, 60 * kMsec);
+    EXPECT_EQ(w.measure, 150 * kMsec);
+}
+
+TEST(Windows, ExplicitOverrideParses)
+{
+    EnvGuard env;
+    setenv("A4_BENCH_WINDOWS_MS", "10:50", 1);
+    Windows w = Windows::fromEnv();
+    EXPECT_EQ(w.warmup, 10 * kMsec);
+    EXPECT_EQ(w.measure, 50 * kMsec);
+}
+
+TEST(Windows, MalformedOverrideIsRejectedWhole)
+{
+    EnvGuard env;
+    const char *bad[] = {"10:",     "0:50",  "10:0",   "10:50x",
+                         "x10:50",  "10",    ":",      "10:50:70",
+                         "-10:50",  "10:-50", " 10:50", "1e2:50",
+                         "garbage", "",
+                         // Overflow must be rejected, not saturated.
+                         "99999999999999999999:50",
+                         "10:99999999999999999999",
+                         "1000000001:50"};
+    for (const char *v : bad) {
+        setenv("A4_BENCH_WINDOWS_MS", v, 1);
+        Windows w = Windows::fromEnv();
+        // Never half-parsed: both windows stay at the defaults.
+        EXPECT_EQ(w.warmup, 60 * kMsec) << "value: '" << v << "'";
+        EXPECT_EQ(w.measure, 150 * kMsec) << "value: '" << v << "'";
+    }
+}
+
+TEST(Windows, DurationScaleStretchesAndCompresses)
+{
+    EnvGuard env;
+    setenv("A4_TEST_DURATION_SCALE", "2", 1);
+    Windows stretched = Windows::fromEnv();
+    EXPECT_EQ(stretched.warmup, 120 * kMsec);
+    EXPECT_EQ(stretched.measure, 300 * kMsec);
+
+    setenv("A4_TEST_DURATION_SCALE", "0.5", 1);
+    Windows compressed = Windows::fromEnv();
+    EXPECT_EQ(compressed.warmup, 30 * kMsec);
+    EXPECT_EQ(compressed.measure, 75 * kMsec);
+}
+
+TEST(Windows, DurationScaleAppliesToCallerDefaults)
+{
+    EnvGuard env;
+    setenv("A4_TEST_DURATION_SCALE", "0.1", 1);
+    Windows w = Windows::fromEnv(Windows{250 * kMsec, 100 * kMsec});
+    EXPECT_EQ(w.warmup, 25 * kMsec);
+    EXPECT_EQ(w.measure, 10 * kMsec);
+}
+
+TEST(Windows, DurationScaleNeverReachesZero)
+{
+    EnvGuard env;
+    setenv("A4_TEST_DURATION_SCALE", "0.0000000000001", 1);
+    Windows w = Windows::fromEnv();
+    EXPECT_GE(w.warmup, 1u);
+    EXPECT_GE(w.measure, 1u);
+}
+
+TEST(Windows, MalformedScaleIsIgnored)
+{
+    EnvGuard env;
+    // Above-cap, inf and nan would overflow Tick when multiplied in.
+    const char *bad[] = {"0",   "-1",  "abc", "2x", "",
+                         "1e7", "inf", "nan"};
+    for (const char *v : bad) {
+        setenv("A4_TEST_DURATION_SCALE", v, 1);
+        Windows w = Windows::fromEnv();
+        EXPECT_EQ(w.warmup, 60 * kMsec) << "value: '" << v << "'";
+        EXPECT_EQ(w.measure, 150 * kMsec) << "value: '" << v << "'";
+    }
+}
+
+TEST(Windows, ExplicitOverrideBeatsDurationScale)
+{
+    EnvGuard env;
+    setenv("A4_TEST_DURATION_SCALE", "4", 1);
+    setenv("A4_BENCH_WINDOWS_MS", "10:50", 1);
+    Windows w = Windows::fromEnv();
+    // The override is exact: the scale does not multiply it.
+    EXPECT_EQ(w.warmup, 10 * kMsec);
+    EXPECT_EQ(w.measure, 50 * kMsec);
+}

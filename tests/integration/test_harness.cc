@@ -78,16 +78,7 @@ TEST(Scaling, ByteAndBandwidthHelpers)
     EXPECT_DOUBLE_EQ(scaled.cpi_base, 2.0);
 }
 
-TEST(Measurement, WindowsFromEnv)
-{
-    setenv("A4_BENCH_WINDOWS_MS", "5:7", 1);
-    Windows w = Windows::fromEnv();
-    EXPECT_EQ(w.warmup, 5 * kMsec);
-    EXPECT_EQ(w.measure, 7 * kMsec);
-    unsetenv("A4_BENCH_WINDOWS_MS");
-    Windows d = Windows::fromEnv();
-    EXPECT_EQ(d.warmup, 60 * kMsec);
-}
+// Windows::fromEnv() parsing is covered by tests/harness/test_windows.cc.
 
 TEST(Measurement, WindowScopedMetrics)
 {
