@@ -42,6 +42,7 @@ staticPoint(LlcReplacement pol, unsigned lo, unsigned hi)
     m.run();
     Record r;
     r.set("mpa", m.sample(xmem).missesPerAccess());
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 
@@ -69,6 +70,7 @@ a4Point()
     m.run();
     Record r;
     r.set("mpa", m.sample(xmem).missesPerAccess());
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

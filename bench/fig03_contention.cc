@@ -71,6 +71,7 @@ runPoint(bool touch, unsigned lo, unsigned hi)
     r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
     r.set("xmem_mpa", xs.missesPerAccess());
     r.set("dpdk_miss", ds.llcMissRate());
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

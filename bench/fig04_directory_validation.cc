@@ -58,6 +58,7 @@ runPoint(bool with_dpdk, bool dca_on, unsigned lo, unsigned hi)
     r.set("xmem_mpa", m.sample(xmem).missesPerAccess());
     r.set("dpdk_tail_us",
           dpdk ? dpdk->latency().percentile(99) / 1000.0 : 0.0);
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

@@ -50,6 +50,7 @@ runPoint(std::uint64_t block, bool dca_on)
               1e9);
     r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
     r.set("leak_rate", s.dcaMissRate());
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

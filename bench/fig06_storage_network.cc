@@ -56,6 +56,7 @@ runPoint(std::uint64_t block, bool dca_on, bool with_fio)
                           bed.config().scale) /
                     1e9
               : 0.0);
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

@@ -52,6 +52,7 @@ runPoint(unsigned n_ways, bool overlap)
     r.set("p99_us", dpdk.latency().percentile(99) / 1000.0);
     r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
     r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

@@ -48,6 +48,7 @@ runA(std::uint64_t block, bool ssd_dca_off)
                         1e9 / double(m.windows().measure),
                     bed.config().scale) /
               1e9);
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 
@@ -81,6 +82,7 @@ runB(unsigned fio_hi, bool with_fio)
                           bed.config().scale) /
                     1e9
               : 0.0);
+    recordEngineDiag(r, bed.engine());
     return r;
 }
 

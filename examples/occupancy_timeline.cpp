@@ -83,6 +83,10 @@ main()
 
     for (unsigned i = 0; i < frames; ++i) {
         bed.run(step);
+        // The occupancy census reads raw LLC state: apply any
+        // deferred (batched) NIC arrivals up to the frame boundary
+        // first so each column matches a per-packet-event run.
+        bed.cache().drainDeferred(bed.engine().now());
         series[0].push_back(bed.cache().llcWayOccupancyOf(dpdk.id()));
         series[1].push_back(bed.cache().llcWayOccupancyOf(fio.id()));
         series[2].push_back(bed.cache().llcWayOccupancyOf(xmem.id()));

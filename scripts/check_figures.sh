@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Validate the committed BENCH_figures.json perf-trajectory record.
+#
+# Two failure classes:
+#   malformed — the committed file is not valid JSON or misses the
+#               aggregate schema (schema_version, benches[], each with
+#               name/wall_s/result and the sweep-runner point schema);
+#   stale     — its *shape* no longer matches the built tree: the set
+#               of benches, their point names, or their metric keys
+#               differ from a fresh regeneration (values and
+#               wall-clock are machine/window-dependent and are
+#               deliberately not compared).
+#
+# Usage: scripts/check_figures.sh [committed.json] [fresh.json]
+#   committed.json  the in-repo record   (default: BENCH_figures.json)
+#   fresh.json      a just-regenerated aggregate to compare shape
+#                   against; when omitted only the format is checked.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+COMMITTED="${1:-BENCH_figures.json}"
+FRESH="${2:-}"
+
+if [ ! -s "$COMMITTED" ]; then
+  echo "check_figures: $COMMITTED missing or empty — regenerate with" \
+       "scripts/figures.sh and commit it" >&2
+  exit 1
+fi
+
+python3 - "$COMMITTED" ${FRESH:+"$FRESH"} <<'EOF'
+import json
+import sys
+
+
+def shape(path):
+    """Parse an aggregate and reduce it to its comparable shape."""
+    try:
+        with open(path) as f:
+            agg = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_figures: {path}: malformed JSON: {e}")
+
+    for key in ("schema_version", "benches"):
+        if key not in agg:
+            sys.exit(f"check_figures: {path}: missing '{key}'")
+    out = {}
+    for bench in agg["benches"]:
+        for key in ("name", "wall_s", "result"):
+            if key not in bench:
+                sys.exit(f"check_figures: {path}: bench entry "
+                         f"missing '{key}': {bench.get('name', '?')}")
+        if not isinstance(bench["wall_s"], (int, float)):
+            sys.exit(f"check_figures: {path}: "
+                     f"{bench['name']}: non-numeric wall_s")
+        result = bench["result"]
+        for key in ("bench", "schema_version", "points"):
+            if key not in result:
+                sys.exit(f"check_figures: {path}: "
+                         f"{bench['name']}: result missing '{key}'")
+        points = {}
+        for point in result["points"]:
+            if "name" not in point or "metrics" not in point:
+                sys.exit(f"check_figures: {path}: {bench['name']}: "
+                         "point missing name/metrics")
+            points[point["name"]] = sorted(point["metrics"])
+        if not points:
+            sys.exit(f"check_figures: {path}: "
+                     f"{bench['name']}: no points")
+        out[bench["name"]] = points
+    if not out:
+        sys.exit(f"check_figures: {path}: no benches")
+    return out
+
+
+committed = shape(sys.argv[1])
+print(f"check_figures: {sys.argv[1]}: well-formed "
+      f"({len(committed)} benches, "
+      f"{sum(len(p) for p in committed.values())} points)")
+
+if len(sys.argv) > 2:
+    fresh = shape(sys.argv[2])
+    stale = []
+    for name in sorted(set(committed) | set(fresh)):
+        if name not in committed:
+            stale.append(f"bench '{name}' missing from committed file")
+        elif name not in fresh:
+            stale.append(f"bench '{name}' no longer generated")
+        elif committed[name] != fresh[name]:
+            old, new = committed[name], fresh[name]
+            for pt in sorted(set(old) | set(new)):
+                if pt not in old:
+                    stale.append(f"{name}: new point '{pt}'")
+                elif pt not in new:
+                    stale.append(f"{name}: dropped point '{pt}'")
+                elif old[pt] != new[pt]:
+                    stale.append(f"{name}: '{pt}': metric keys "
+                                 f"{old[pt]} != {new[pt]}")
+    if stale:
+        print("check_figures: committed record is STALE — regenerate "
+              "with scripts/figures.sh and commit the result:",
+              file=sys.stderr)
+        for line in stale[:20]:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print("check_figures: shape matches the built tree")
+EOF

@@ -59,6 +59,7 @@ done
   echo '  "schema_version": 1,'
   echo "  \"jobs\": $JOBS,"
   echo "  \"duration_scale\": \"$A4_TEST_DURATION_SCALE\","
+  echo "  \"nic_burst\": \"${A4_NIC_BURST:-default}\","
   echo '  "benches": ['
   sep=''
   for b in "${BENCHES[@]}"; do

@@ -56,6 +56,56 @@ CacheSystem::stampInsertLlc(unsigned set, unsigned way)
         geom.replacement == LlcReplacement::Lru ? ++llc_tick[set] : 2;
 }
 
+// --- deferred device accesses -----------------------------------------------
+
+void
+CacheSystem::attachDeferredSource(DeferredIoSource &src)
+{
+    deferred_.push_back(&src);
+    noteDeferredTick(src.deferredTick());
+}
+
+void
+CacheSystem::detachDeferredSource(DeferredIoSource &src)
+{
+    std::erase(deferred_, &src);
+    // The cached hint may now be stale-low; the next drain resets it.
+}
+
+void
+CacheSystem::drainDeferredSlow(Tick now)
+{
+    // Applying a deferred access re-enters through dmaWriteLine (and
+    // may trigger DRAM/eviction traffic); the guard makes those inner
+    // drainDeferred() calls no-ops so application order stays the
+    // single merge below.
+    if (draining_)
+        return;
+    draining_ = true;
+    for (;;) {
+        // Merge across sources: earliest timestamp wins, attach order
+        // breaks ties, so the applied stream is identical no matter
+        // which observation (or which source's carrier event)
+        // triggered the drain.
+        DeferredIoSource *best = nullptr;
+        Tick best_tick = kNoDeferredIo;
+        for (DeferredIoSource *s : deferred_) {
+            const Tick t = s->deferredTick();
+            if (t <= now && t < best_tick) {
+                best = s;
+                best_tick = t;
+            }
+        }
+        if (best == nullptr)
+            break;
+        best->applyDeferredAccess();
+    }
+    next_deferred_ = kNoDeferredIo;
+    for (DeferredIoSource *s : deferred_)
+        next_deferred_ = std::min(next_deferred_, s->deferredTick());
+    draining_ = false;
+}
+
 // --- counters ----------------------------------------------------------------
 
 WorkloadCounters &
@@ -92,6 +142,7 @@ AccessResult
 CacheSystem::coreAccess(Tick now, CoreId core, Addr addr, WorkloadId wl_id,
                         bool is_write)
 {
+    drainDeferred(now);
     if (core >= geom.num_cores)
         panic(sformat("core %u out of range", core));
 
@@ -340,6 +391,7 @@ CacheSystem::dmaWriteLine(Tick now, Addr addr, WorkloadId owner,
                           std::span<const CoreId> consumers,
                           bool allocating)
 {
+    drainDeferred(now);
     const Addr line = lineOf(addr);
     WorkloadCounters &w = wl(owner);
     const unsigned set = llcSetOf(line);
@@ -390,6 +442,7 @@ bool
 CacheSystem::dmaReadLine(Tick now, Addr addr, WorkloadId owner,
                          std::span<const CoreId> cores)
 {
+    drainDeferred(now);
     const Addr line = lineOf(addr);
     const unsigned set = llcSetOf(line);
 

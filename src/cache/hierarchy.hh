@@ -57,6 +57,35 @@
 namespace a4
 {
 
+/** deferredTick() value meaning "no deferred access pending". */
+inline constexpr Tick kNoDeferredIo = ~Tick(0);
+
+/**
+ * A device model whose accesses into the hierarchy are generated
+ * lazily instead of one engine event each (the NIC's burst arrival
+ * path). The source exposes the timestamp of its earliest
+ * not-yet-applied access; the cache drains every attached source up
+ * to `now` — in global (timestamp, attach-order) order — before any
+ * access or counter sample can observe shared state. This is the
+ * observation barrier that makes batched arrival generation
+ * tick-for-tick indistinguishable from per-event scheduling: state is
+ * only ever *read* with all logically-earlier accesses applied.
+ */
+class DeferredIoSource
+{
+  public:
+    virtual ~DeferredIoSource() = default;
+
+    /** Timestamp of the earliest pending deferred access, or
+     *  kNoDeferredIo when idle. Must be non-decreasing except across
+     *  a restart of the source. */
+    virtual Tick deferredTick() const = 0;
+
+    /** Apply exactly the earliest pending deferred access.
+     *  @pre deferredTick() != kNoDeferredIo. */
+    virtual void applyDeferredAccess() = 0;
+};
+
 /** Result level of a core access (for tests and latency breakdowns). */
 enum class HitLevel { MlcHit, LlcHit, Memory };
 
@@ -98,7 +127,16 @@ class CacheSystem
     bool dmaReadLine(Tick now, Addr addr, WorkloadId owner,
                      std::span<const CoreId> cores);
 
-    /** @name Introspection (tests, analysis, occupancy census). @{ */
+    /**
+     * @name Introspection (tests, analysis, occupancy census).
+     *
+     * These readers (and the counter banks below) are const and
+     * therefore bypass the deferred-access barrier: with a batched
+     * NIC attached, call drainDeferred(now) first or the state read
+     * can be up to one burst interval stale. The access paths and
+     * PCM samples drain automatically; raw censuses cannot.
+     * @{
+     */
     struct Probe
     {
         bool in_llc = false;
@@ -125,6 +163,34 @@ class CacheSystem
     std::vector<std::uint64_t> llcWayOccupancy() const;
     /** Valid-line count per LLC way owned by @p wl. */
     std::vector<std::uint64_t> llcWayOccupancyOf(WorkloadId wl) const;
+    /** @} */
+
+    /** @name Deferred device-access sources (burst batching). @{ */
+    /** Register @p src; its pending accesses gate every observation. */
+    void attachDeferredSource(DeferredIoSource &src);
+    /** Unregister @p src (sources detach on destruction). */
+    void detachDeferredSource(DeferredIoSource &src);
+    /** Lower the fast-path "earliest deferred access" hint to @p t
+     *  (sources call this when they (re)start generating). */
+    void
+    noteDeferredTick(Tick t)
+    {
+        if (t < next_deferred_)
+            next_deferred_ = t;
+    }
+    /**
+     * Apply all deferred accesses with timestamp <= @p now, merged
+     * across sources in (timestamp, attach-order) order. Called
+     * internally before every access; public for samplers that read
+     * counters without touching lines (PCM, occupancy censuses).
+     * One compare when nothing is pending.
+     */
+    void
+    drainDeferred(Tick now)
+    {
+        if (now >= next_deferred_) [[unlikely]]
+            drainDeferredSlow(now);
+    }
     /** @} */
 
     /** Per-workload counter bank (auto-grows). */
@@ -244,6 +310,7 @@ class CacheSystem
     }
 
     // --- internal operations ----------------------------------------------
+    void drainDeferredSlow(Tick now);
     AccessResult coreAccess(Tick now, CoreId core, Addr addr,
                             WorkloadId wl_id, bool is_write);
     void mlcInsert(Tick now, CoreId core, Addr line, WorkloadId owner,
@@ -287,6 +354,11 @@ class CacheSystem
 
     mutable std::vector<WorkloadCounters> wl_stats;
     GlobalCacheCounters gstats;
+
+    // Deferred-access sources and the cached earliest-pending hint.
+    std::vector<DeferredIoSource *> deferred_;
+    Tick next_deferred_ = kNoDeferredIo;
+    bool draining_ = false; ///< re-entrancy guard (drains access us)
 };
 
 } // namespace a4

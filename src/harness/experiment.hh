@@ -19,6 +19,7 @@
 #include <cstring>
 #include <vector>
 
+#include "harness/sweep.hh"
 #include "harness/testbed.hh"
 #include "pcm/monitor.hh"
 #include "sim/log.hh"
@@ -27,29 +28,26 @@
 namespace a4
 {
 
+/**
+ * Append the engine's health diagnostics to a sweep point's Record.
+ * Every figure bench calls this (the scenario runners do it through
+ * their result structs), so past-dated scheduling clamped by the
+ * release build — Engine::pastEvents() — is visible in each point of
+ * the --json output instead of silently skewing figure numbers. The
+ * value is arrival-mode invariant: burst batching never schedules
+ * into the past, so a nonzero count always implicates an actor.
+ */
+inline void
+recordEngineDiag(Record &r, const Engine &eng)
+{
+    r.set("past_events", double(eng.pastEvents()));
+}
+
 /** Warm-up + measurement windows (simulated time). */
 struct Windows
 {
     Tick warmup = 60 * kMsec;
     Tick measure = 150 * kMsec;
-
-    /**
-     * Env-knob rejection diagnostic, straight to stderr: the benches
-     * run under setQuiet(true) and a silently ignored knob is worse
-     * than a noisy one. Dedups per offending value so a multi-point
-     * sweep (and workers forked after the parent validated once,
-     * which inherit @p warned) prints one line, not one per Windows
-     * construction.
-     */
-    static void
-    warnOncePerValue(std::string &warned, const char *value,
-                     const char *format)
-    {
-        if (warned == value)
-            return;
-        warned = value;
-        std::fprintf(stderr, format, value);
-    }
 
     /**
      * Adjust @p defaults by the environment knobs:

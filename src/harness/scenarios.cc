@@ -246,6 +246,7 @@ runRealWorldScenario(bool hpw_heavy, Scheme scheme,
         double(sys.ports[fh.ioPort()].egress_bytes) * to_gbps;
     res.mem_rd_gbps = unscaleBw(sys.memReadBwBps(), scale) / 1e9;
     res.mem_wr_gbps = unscaleBw(sys.memWriteBwBps(), scale) / 1e9;
+    res.past_events = double(rig.bed.engine().pastEvents());
     return res;
 }
 
@@ -308,6 +309,7 @@ runMicroScenario(Scheme scheme, unsigned packet_bytes,
     res.net_rd_gbps =
         double(sys.ports[dpdk.ioPort()].ingress_bytes) * 1e9 /
         double(opt.windows.measure) * bed.config().scale / 1e9;
+    res.past_events = double(bed.engine().pastEvents());
     return res;
 }
 
@@ -321,6 +323,7 @@ toRecord(const MicroResult &r)
     }
     rec.set("net_tail_us", r.net_tail_us);
     rec.set("net_rd_gbps", r.net_rd_gbps);
+    rec.set("past_events", r.past_events);
     return rec;
 }
 
@@ -334,6 +337,7 @@ microResultFrom(const Record &rec)
     }
     r.net_tail_us = rec.num("net_tail_us");
     r.net_rd_gbps = rec.num("net_rd_gbps");
+    r.past_events = rec.num("past_events");
     return r;
 }
 
@@ -365,6 +369,7 @@ toRecord(const ScenarioResult &r)
     rec.set("ffsbh_wr_gbps", r.ffsbh_wr_gbps);
     rec.set("mem_rd_gbps", r.mem_rd_gbps);
     rec.set("mem_wr_gbps", r.mem_wr_gbps);
+    rec.set("past_events", r.past_events);
     return rec;
 }
 
@@ -397,6 +402,7 @@ scenarioResultFrom(const Record &rec)
     r.ffsbh_wr_gbps = rec.num("ffsbh_wr_gbps");
     r.mem_rd_gbps = rec.num("mem_rd_gbps");
     r.mem_wr_gbps = rec.num("mem_wr_gbps");
+    r.past_events = rec.num("past_events");
     return r;
 }
 

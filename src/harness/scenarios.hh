@@ -73,6 +73,11 @@ struct ScenarioResult
     double mem_rd_gbps = 0.0;
     double mem_wr_gbps = 0.0;
 
+    /** Engine::pastEvents() after the run: past-dated schedules the
+     *  release build clamped to now(). Anything non-zero means an
+     *  actor slipped and the figure numbers are suspect. */
+    double past_events = 0.0;
+
     const WorkloadResult *find(const std::string &name) const;
 
     /** Geometric-mean relative performance vs @p baseline. */
@@ -107,6 +112,7 @@ struct MicroResult
     double xmem_hit[3] = {0, 0, 0};
     double net_tail_us = 0.0;
     double net_rd_gbps = 0.0; ///< network ingress, paper-equivalent
+    double past_events = 0.0; ///< see ScenarioResult::past_events
 };
 
 /**

@@ -187,7 +187,13 @@ usage(const std::string &bench, int code)
                  "SUBSTR\n"
                  "  --json PATH     also write results as JSON to PATH\n"
                  "  --list          print the point names (after "
-                 "--filter) and exit\n",
+                 "--filter) and exit\n"
+                 "  --burst MODE    NIC arrival batching (sets "
+                 "$A4_NIC_BURST): 0/off = one\n"
+                 "                  engine event per packet, 1/on = "
+                 "default interval, or an\n"
+                 "                  interval in ns; results are "
+                 "byte-identical across modes\n",
                  bench.c_str());
     std::exit(code);
 }
@@ -249,6 +255,8 @@ SweepOptions::parse(const std::string &bench, int argc, char **argv)
             opt.filter = val;
         } else if (optValue(bench, argc, argv, i, "--json", val)) {
             opt.json_path = val;
+        } else if (optValue(bench, argc, argv, i, "--burst", val)) {
+            opt.burst = val;
         } else if (arg == "--list") {
             opt.list = true;
         } else {
@@ -271,7 +279,7 @@ SweepOptions::effectiveJobs() const
         if (end && *end == '\0' && v >= 1)
             return unsigned(v);
         // stderr, not warn(): benches run quiet (see
-        // Windows::warnOncePerValue for the rationale).
+        // warnOncePerValue in sim/log.hh for the rationale).
         std::fprintf(stderr,
                      "warning: A4_JOBS: ignoring malformed value "
                      "'%s'\n", env);
@@ -332,10 +340,16 @@ Sweep::run()
         std::exit(0);
     }
 
-    // Validate the window env knobs once, in the parent: their
-    // rejection diagnostics print here, and the forked workers
-    // inherit the dedup state so they stay silent.
+    // --burst exports $A4_NIC_BURST so every point (and every forked
+    // worker) constructs its NICs in the requested arrival mode.
+    if (!opt_.burst.empty())
+        setenv("A4_NIC_BURST", opt_.burst.c_str(), 1);
+
+    // Validate the env knobs once, in the parent: their rejection
+    // diagnostics print here, and the forked workers inherit the
+    // dedup state so they stay silent.
     Windows::fromEnv();
+    NicConfig::burstFromEnv();
 
     jobs_used_ =
         std::min<std::size_t>(opt_.effectiveJobs(),

@@ -18,6 +18,11 @@
  *   --filter SUBSTR   run only points whose name contains SUBSTR
  *   --json PATH       also write the results as JSON (see writeJson)
  *   --list            print the point names (after --filter) and exit
+ *   --burst MODE      NIC arrival batching: sets $A4_NIC_BURST for
+ *                     every point (0/off = per-packet events, 1/on =
+ *                     default interval, or an interval in ns) — the
+ *                     equivalence baseline knob; output must be
+ *                     byte-identical across modes
  *
  * Record values round-trip through the worker pipe as C99 hex floats,
  * so a parallel run reproduces the in-process doubles bit for bit.
@@ -73,6 +78,7 @@ struct SweepOptions
     unsigned jobs = 0; ///< 0 = auto ($A4_JOBS, else hw threads)
     std::string filter;
     std::string json_path;
+    std::string burst; ///< non-empty: exported as $A4_NIC_BURST
     bool list = false;
 
     /** Parse argv; prints usage and exits on --help / bad args. */

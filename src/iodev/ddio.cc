@@ -35,6 +35,14 @@ DdioController::allocatingWrites(PortId port) const
     return bios_dca && r.use_allocating_flow_wr && !r.no_snoop_op_wr_en;
 }
 
+// Ordering note for the batched NIC arrival path: these register
+// flips take effect for every *applied* DMA write after the call —
+// DmaEngine consults allocatingWrites() per write, never caching the
+// flow choice. The A4 daemon flips them only after sampling PCM,
+// which drains all deferred arrivals up to the decision tick, so the
+// flip lands at the same position of the applied access stream
+// whether arrivals ride per-packet events or per-interval bursts.
+
 void
 DdioController::disableDcaForPort(PortId port)
 {

@@ -27,6 +27,10 @@ class DmaEngine
         : cache(cache), ddio(ddio), pcie(pcie)
     {}
 
+    /** The hierarchy this engine writes into. Devices that batch
+     *  their accesses (Nic) register with it as DeferredIoSources. */
+    CacheSystem &cacheSystem() { return cache; }
+
     /**
      * Device-to-host write of @p bytes starting at @p addr.
      * Line-granular; partial tail lines count as whole lines, as on

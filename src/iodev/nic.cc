@@ -1,13 +1,47 @@
 #include "iodev/nic.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "sim/log.hh"
 
 namespace a4
 {
 
+Tick
+NicConfig::burstFromEnv()
+{
+    const char *env = std::getenv("A4_NIC_BURST");
+    if (env == nullptr)
+        return kDefaultBurstInterval;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "false") == 0 ||
+        std::strcmp(env, "per-packet") == 0)
+        return 0;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "true") == 0)
+        return kDefaultBurstInterval;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    // Cap at one simulated second: longer intervals only delay
+    // carrier progress without saving further events.
+    constexpr unsigned long long max_interval = 1000ull * 1000 * 1000;
+    if (end != nullptr && end != env && *end == '\0' && v >= 2 &&
+        v <= max_interval)
+        return static_cast<Tick>(v);
+    static std::string warned;
+    warnOncePerValue(warned, env,
+                     "warning: A4_NIC_BURST: ignoring malformed value "
+                     "'%s' (want 0/off, 1/on, or an interval in "
+                     "2..1e9 ns)\n");
+    return kDefaultBurstInterval;
+}
+
 Nic::Nic(Engine &eng_, DmaEngine &dma_, AddressMap &addrs, PortId port_,
          const NicConfig &config)
-    : eng(eng_), dma(dma_), port(port_), cfg(config), rng(cfg.seed)
+    : eng(eng_), dma(dma_), csys(dma_.cacheSystem()), port(port_),
+      cfg(config), rng(cfg.seed)
 {
     if (cfg.num_queues == 0 || cfg.ring_entries == 0)
         fatal("Nic: queues and ring entries must be non-zero");
@@ -26,8 +60,27 @@ Nic::Nic(Engine &eng_, DmaEngine &dma_, AddressMap &addrs, PortId port_,
         queues[q].slots.resize(cfg.ring_entries);
         for (unsigned s = 0; s < cfg.ring_entries; ++s)
             queues[q].slots[s] = base + std::uint64_t(s) * slot_bytes;
-        queues[q].arrive_ev.init(eng, [this, q] { arrive(q); });
     }
+
+    // Carriers: only one is armed, per cfg.burst_interval (start()).
+    step_ev.init(eng, [this] {
+        csys.drainDeferred(eng.now());
+        if (running && deferredTick() != kNoDeferredIo)
+            step_ev.armAt(deferredTick());
+    });
+    burst_ev.init(eng, [this](Tick, Tick end) -> std::uint64_t {
+        csys.drainDeferred(end);
+        const std::uint64_t expanded = applied - reported;
+        reported = applied;
+        return expanded;
+    });
+
+    csys.attachDeferredSource(*this);
+}
+
+Nic::~Nic()
+{
+    csys.detachDeferredSource(*this);
 }
 
 void
@@ -45,8 +98,28 @@ Nic::start()
     if (running)
         return;
     running = true;
+    // Seed one pending arrival per queue, in queue order — the same
+    // RNG draw order as scheduling one initial event per queue.
     for (unsigned q = 0; q < cfg.num_queues; ++q)
-        scheduleArrival(q);
+        drawNext(q, eng.now());
+    csys.noteDeferredTick(deferredTick());
+    if (cfg.burst_interval == 0)
+        step_ev.armAt(deferredTick());
+    else
+        burst_ev.start(cfg.burst_interval);
+}
+
+void
+Nic::stop()
+{
+    if (!running)
+        return;
+    // Arrivals logically before the stop have happened on the wire:
+    // apply them, then discard the pending (future) generation state.
+    csys.drainDeferred(eng.now());
+    running = false;
+    step_ev.cancel();
+    burst_ev.stop();
 }
 
 Tick
@@ -62,17 +135,40 @@ Nic::interarrival()
 }
 
 void
-Nic::scheduleArrival(unsigned q)
+Nic::drawNext(unsigned q, Tick from)
 {
-    queues[q].arrive_ev.arm(interarrival());
+    queues[q].next_tick = from + interarrival();
+    queues[q].next_seq = gen_seq++;
+}
+
+unsigned
+Nic::minQueue() const
+{
+    unsigned best = 0;
+    for (unsigned q = 1; q < queues.size(); ++q) {
+        const Queue &a = queues[q];
+        const Queue &b = queues[best];
+        if (a.next_tick < b.next_tick ||
+            (a.next_tick == b.next_tick && a.next_seq < b.next_seq))
+            best = q;
+    }
+    return best;
+}
+
+Tick
+Nic::deferredTick() const
+{
+    if (!running)
+        return kNoDeferredIo;
+    return queues[minQueue()].next_tick;
 }
 
 void
-Nic::arrive(unsigned q)
+Nic::applyDeferredAccess()
 {
-    if (!running)
-        return;
+    const unsigned q = minQueue();
     Queue &queue = queues[q];
+    const Tick when = queue.next_tick;
     if (queue.pending.size() >= cfg.ring_entries) {
         // No free descriptor: the NIC drops on the wire.
         dropped_pkts.inc();
@@ -80,24 +176,49 @@ Nic::arrive(unsigned q)
         Addr buf = queue.slots[queue.next_slot];
         queue.next_slot = (queue.next_slot + 1) % cfg.ring_entries;
         const CoreId consumer[1] = {queue.consumer};
-        dma.write(eng.now(), port, buf, cfg.packet_bytes, queue.owner,
+        // The access carries its own arrival timestamp: LLC/DDIO
+        // state transitions and DRAM window accounting see the exact
+        // per-packet sequence regardless of when it is applied.
+        dma.write(when, port, buf, cfg.packet_bytes, queue.owner,
                   consumer);
-        queue.pending.push_back(
-            RxPacket{eng.now(), buf, cfg.packet_bytes});
+        queue.pending.push_back(RxPacket{when, buf, cfg.packet_bytes});
         delivered_pkts.inc();
     }
-    scheduleArrival(q);
+    ++applied;
+    drawNext(q, when);
 }
 
 bool
 Nic::pop(unsigned q, RxPacket &out)
 {
+    csys.drainDeferred(eng.now());
     Queue &queue = queues[q];
     if (queue.pending.empty())
         return false;
     out = queue.pending.front();
     queue.pending.pop_front();
     return true;
+}
+
+std::size_t
+Nic::pending(unsigned q)
+{
+    csys.drainDeferred(eng.now());
+    return queues[q].pending.size();
+}
+
+const SnapshotCounter &
+Nic::delivered()
+{
+    csys.drainDeferred(eng.now());
+    return delivered_pkts;
+}
+
+const SnapshotCounter &
+Nic::dropped()
+{
+    csys.drainDeferred(eng.now());
+    return dropped_pkts;
 }
 
 void

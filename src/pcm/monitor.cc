@@ -6,6 +6,9 @@ namespace a4
 WorkloadSample
 PcmMonitor::sampleWorkload(WorkloadId id)
 {
+    // Counters must reflect every access logically before the sample:
+    // apply deferred (batched) device arrivals up to now first.
+    cache.drainDeferred(eng.now());
     const WorkloadCounters &c = cache.wlConst(id);
     WlPrev &p = prev_wl[id];
     WorkloadSample s;
@@ -28,6 +31,9 @@ PcmMonitor::sampleWorkload(WorkloadId id)
 SystemSample
 PcmMonitor::sampleSystem()
 {
+    // DRAM/PCIe byte counters advance when deferred device arrivals
+    // are applied; drain so the interval boundary is exact.
+    cache.drainDeferred(eng.now());
     SystemSample s;
     s.interval_ns = eng.now() - prev_time;
     prev_time = eng.now();

@@ -10,6 +10,14 @@
  * monitor holds its own previous snapshot per counter set, so
  * multiple monitors — the A4 daemon and the experiment harness —
  * never perturb each other).
+ *
+ * Sampling first applies any deferred (batched) device arrivals up
+ * to now() through the cache's observation barrier, so a sample
+ * taken mid-burst-interval reads exactly the counters a per-packet
+ * event schedule would have produced. Because the A4 daemon samples
+ * at the top of every tick, all of its CAT/DDIO reconfiguration
+ * decisions — and the register flips themselves — land at the same
+ * point of the applied access stream in both arrival modes.
  */
 
 #ifndef A4_PCM_MONITOR_HH

@@ -63,4 +63,14 @@ setQuiet(bool quiet)
     quiet_mode = quiet;
 }
 
+void
+warnOncePerValue(std::string &warned, const char *value,
+                 const char *format)
+{
+    if (warned == value)
+        return;
+    warned = value;
+    std::fprintf(stderr, format, value);
+}
+
 } // namespace a4

@@ -50,6 +50,18 @@ void inform(const std::string &msg);
 /** Globally silence warn()/inform() (used by benches). */
 void setQuiet(bool quiet);
 
+/**
+ * Env-knob rejection diagnostic, straight to stderr (never silenced
+ * by setQuiet(): a silently ignored knob is worse than a noisy one).
+ * Dedups per offending value via caller-owned @p warned state, so a
+ * multi-point sweep — and workers forked after the parent validated
+ * once, which inherit @p warned — prints one line, not one per
+ * parse. One contract for every A4_* knob (window scales, NIC burst).
+ * @p format must contain exactly one %s for the offending value.
+ */
+void warnOncePerValue(std::string &warned, const char *value,
+                      const char *format);
+
 } // namespace a4
 
 #endif // A4_SIM_LOG_HH

@@ -12,6 +12,13 @@
  * charging per-line access latency (overlapped by the payload MLP)
  * plus fixed per-packet CPU work; packet latency = NIC wire latency +
  * ring wait + service.
+ *
+ * Arrival-timing contract: Nic::pop() first applies every deferred
+ * arrival up to now() (the NIC generates arrivals in batches, see
+ * nic.hh), so a poll observes exactly the ring contents a per-packet
+ * event schedule would have produced — RxPacket::arrival carries the
+ * true wire timestamp either way, which keeps the ring-wait term of
+ * the latency breakdown exact.
  */
 
 #ifndef A4_WORKLOAD_DPDK_HH

@@ -7,6 +7,11 @@
  * generates scrambled-zipfian YCSB-A operations (50 % read, 50 %
  * update). Both run on one core each and are measured by IPC, like
  * the paper's single-threaded workloads.
+ *
+ * Both actors are already batch-expanded: one Engine::Recurring
+ * firing per request batch (cfg.batch ops), not one event per op —
+ * the same events-per-interval economy the NIC's burst arrival path
+ * applies to packet generation (see nic.hh).
  */
 
 #ifndef A4_WORKLOAD_REDIS_HH

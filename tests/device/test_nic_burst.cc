@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Burst-vs-per-packet equivalence for the NIC arrival path.
+ *
+ * The contract under test (see nic.hh / docs/ARCHITECTURE.md): the
+ * burst carrier (one Engine::Batch firing per interval) and the
+ * per-packet carrier (one engine event per arrival tick) drive the
+ * *identical* access stream — same arrival ticks, same order, same
+ * RNG draws — so DDIO occupancy timelines, PCM counters, and latency
+ * distributions are tick-for-tick equal, while the burst mode
+ * processes several times fewer engine events.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/builders.hh"
+#include "harness/experiment.hh"
+#include "harness/testbed.hh"
+#include "iodev/nic.hh"
+
+using namespace a4;
+
+namespace
+{
+
+/** Scoped $A4_NIC_BURST override (restores the prior value). */
+class BurstEnv
+{
+  public:
+    explicit BurstEnv(const char *value)
+    {
+        const char *prev = std::getenv("A4_NIC_BURST");
+        had_ = prev != nullptr;
+        if (had_)
+            saved_ = prev;
+        if (value)
+            setenv("A4_NIC_BURST", value, 1);
+        else
+            unsetenv("A4_NIC_BURST");
+    }
+
+    ~BurstEnv()
+    {
+        if (had_)
+            setenv("A4_NIC_BURST", saved_.c_str(), 1);
+        else
+            unsetenv("A4_NIC_BURST");
+    }
+
+  private:
+    bool had_ = false;
+    std::string saved_;
+};
+
+/** Standalone NIC rig (mirrors tests/device/test_nic.cc). */
+struct Rig
+{
+    Rig()
+        : cat(11, 8), cache(geom(), CacheLatencies{}, dram, cat),
+          ddio(2), dma(cache, ddio, pcie)
+    {
+        port = pcie.addPort("nic0", DeviceClass::Network);
+    }
+
+    static CacheGeometry
+    geom()
+    {
+        CacheGeometry g;
+        g.num_cores = 8;
+        g.llc_sets = 256;
+        g.mlc_ways = 4;
+        g.mlc_sets = 64;
+        return g;
+    }
+
+    Nic &
+    makeNic(NicConfig cfg)
+    {
+        nic = std::make_unique<Nic>(eng, dma, addrs, port, cfg);
+        for (unsigned q = 0; q < cfg.num_queues; ++q)
+            nic->attachConsumer(q, 1, static_cast<CoreId>(q));
+        return *nic;
+    }
+
+    Engine eng;
+    Dram dram;
+    CatController cat;
+    CacheSystem cache;
+    DdioController ddio;
+    PcieTopology pcie;
+    DmaEngine dma;
+    AddressMap addrs;
+    std::unique_ptr<Nic> nic;
+    PortId port = 0;
+};
+
+void
+expectSamplesEqual(const WorkloadSample &a, const WorkloadSample &b,
+                   const char *what)
+{
+    EXPECT_EQ(a.mlc_hit, b.mlc_hit) << what;
+    EXPECT_EQ(a.mlc_miss, b.mlc_miss) << what;
+    EXPECT_EQ(a.llc_hit, b.llc_hit) << what;
+    EXPECT_EQ(a.llc_miss, b.llc_miss) << what;
+    EXPECT_EQ(a.dma_written, b.dma_written) << what;
+    EXPECT_EQ(a.dma_update, b.dma_update) << what;
+    EXPECT_EQ(a.dma_alloc, b.dma_alloc) << what;
+    EXPECT_EQ(a.dma_leaked, b.dma_leaked) << what;
+    EXPECT_EQ(a.dma_nonalloc, b.dma_nonalloc) << what;
+    EXPECT_EQ(a.mem_rd_lines, b.mem_rd_lines) << what;
+    EXPECT_EQ(a.mem_wr_lines, b.mem_wr_lines) << what;
+    EXPECT_EQ(a.bloat_inserts, b.bloat_inserts) << what;
+    EXPECT_EQ(a.migrated, b.migrated) << what;
+}
+
+} // namespace
+
+TEST(NicBurst, EnvKnobParsing)
+{
+    constexpr Tick def = NicConfig::kDefaultBurstInterval;
+    {
+        BurstEnv e(nullptr);
+        EXPECT_EQ(NicConfig::burstFromEnv(), def);
+    }
+    for (const char *off : {"0", "off", "false", "per-packet"}) {
+        BurstEnv e(off);
+        EXPECT_EQ(NicConfig::burstFromEnv(), 0u) << off;
+    }
+    for (const char *on : {"1", "on", "true"}) {
+        BurstEnv e(on);
+        EXPECT_EQ(NicConfig::burstFromEnv(), def) << on;
+    }
+    {
+        BurstEnv e("8000");
+        EXPECT_EQ(NicConfig::burstFromEnv(), 8000u);
+        // The knob is the NicConfig default.
+        EXPECT_EQ(NicConfig{}.burst_interval, 8000u);
+    }
+    // Rejected whole — malformed, negative, zero-with-suffix, or
+    // beyond the one-second cap — falls back to the default.
+    for (const char *bad :
+         {"abc", "-5", "0x10", "4us", "1000000001", ""}) {
+        BurstEnv e(bad);
+        EXPECT_EQ(NicConfig::burstFromEnv(), def) << '\'' << bad << '\'';
+    }
+}
+
+TEST(NicBurst, ModesProduceIdenticalDeviceTimeline)
+{
+    // Two identical rigs, no consumer: the ring fills, recycles
+    // nothing, and every DMA/DDIO decision is the NIC's own. Sample
+    // at boundaries unrelated to the burst interval: counters and
+    // way occupancancy must match tick for tick.
+    NicConfig base;
+    base.num_queues = 2;
+    base.ring_entries = 512;
+    base.packet_bytes = 512;
+    base.offered_gbps = 6.0;
+    base.poisson = true;
+
+    Rig pp, bb;
+    NicConfig cpp = base;
+    cpp.burst_interval = 0;
+    NicConfig cbb = base;
+    cbb.burst_interval = 4 * kUsec;
+    Nic &npp = pp.makeNic(cpp);
+    Nic &nbb = bb.makeNic(cbb);
+    npp.start();
+    nbb.start();
+
+    for (unsigned step = 0; step < 9; ++step) {
+        const Tick dt = 333 * kUsec + step * 77;
+        pp.eng.runFor(dt);
+        bb.eng.runFor(dt);
+        ASSERT_EQ(pp.eng.now(), bb.eng.now());
+
+        EXPECT_EQ(npp.delivered().value(), nbb.delivered().value());
+        EXPECT_EQ(npp.dropped().value(), nbb.dropped().value());
+        EXPECT_EQ(npp.pending(0), nbb.pending(0));
+        EXPECT_EQ(npp.pending(1), nbb.pending(1));
+
+        pp.cache.drainDeferred(pp.eng.now());
+        bb.cache.drainDeferred(bb.eng.now());
+        EXPECT_EQ(pp.cache.llcWayOccupancy(),
+                  bb.cache.llcWayOccupancy());
+        EXPECT_EQ(pp.cache.wl(1).dma_write_alloc.value(),
+                  bb.cache.wl(1).dma_write_alloc.value());
+        EXPECT_EQ(pp.cache.wl(1).dma_write_update.value(),
+                  bb.cache.wl(1).dma_write_update.value());
+        EXPECT_EQ(pp.dram.writeBytes().value(),
+                  bb.dram.writeBytes().value());
+        EXPECT_EQ(pp.pcie.port(0).ingress_bytes.value(),
+                  bb.pcie.port(0).ingress_bytes.value());
+    }
+
+    // Popped packets carry identical wire timestamps.
+    Nic::RxPacket a, b;
+    for (unsigned i = 0; i < 64; ++i) {
+        ASSERT_TRUE(npp.pop(0, a));
+        ASSERT_TRUE(nbb.pop(0, b));
+        EXPECT_EQ(a.arrival, b.arrival);
+        EXPECT_EQ(a.buf, b.buf);
+    }
+}
+
+namespace
+{
+
+/** Fig. 6-style co-run (DPDK-T + FIO) under one arrival mode. */
+struct Fig06Run
+{
+    Testbed bed;
+    DpdkWorkload *dpdk;
+    FioWorkload *fio;
+
+    explicit Fig06Run(Tick burst_interval)
+    {
+        NicConfig nc;
+        nc.burst_interval = burst_interval;
+        dpdk = &addDpdk(bed, "dpdk-t", true, nc);
+        fio = &addFio(bed, "fio", 512 * kKiB);
+        dpdk->start();
+        fio->start();
+    }
+};
+
+} // namespace
+
+TEST(NicBurst, Fig06StyleScenarioIsTickForTickEquivalent)
+{
+    // Compressed fig06 point: network + storage share the hierarchy,
+    // so NIC arrivals interleave with NVMe DMA and consumer polls.
+    // PCM samples, occupancy, and the DPDK latency distribution must
+    // be bit-identical between arrival modes at every boundary.
+    Fig06Run pp(0);
+    Fig06Run bb(NicConfig::kDefaultBurstInterval);
+    PcmMonitor mon_pp = pp.bed.makeMonitor();
+    PcmMonitor mon_bb = bb.bed.makeMonitor();
+
+    for (unsigned step = 0; step < 6; ++step) {
+        const Tick dt = kMsec + step * 131;
+        pp.bed.run(dt);
+        bb.bed.run(dt);
+
+        expectSamplesEqual(mon_pp.sampleWorkload(pp.dpdk->id()),
+                           mon_bb.sampleWorkload(bb.dpdk->id()),
+                           "dpdk");
+        expectSamplesEqual(mon_pp.sampleWorkload(pp.fio->id()),
+                           mon_bb.sampleWorkload(bb.fio->id()),
+                           "fio");
+        SystemSample sa = mon_pp.sampleSystem();
+        SystemSample sb = mon_bb.sampleSystem();
+        EXPECT_EQ(sa.mem_rd_bytes, sb.mem_rd_bytes);
+        EXPECT_EQ(sa.mem_wr_bytes, sb.mem_wr_bytes);
+        ASSERT_EQ(sa.ports.size(), sb.ports.size());
+        for (std::size_t p = 0; p < sa.ports.size(); ++p) {
+            EXPECT_EQ(sa.ports[p].ingress_bytes,
+                      sb.ports[p].ingress_bytes);
+            EXPECT_EQ(sa.ports[p].egress_bytes,
+                      sb.ports[p].egress_bytes);
+        }
+
+        pp.bed.cache().drainDeferred(pp.bed.engine().now());
+        bb.bed.cache().drainDeferred(bb.bed.engine().now());
+        EXPECT_EQ(pp.bed.cache().llcWayOccupancy(),
+                  bb.bed.cache().llcWayOccupancy());
+
+        EXPECT_EQ(pp.dpdk->latency().count(),
+                  bb.dpdk->latency().count());
+        EXPECT_EQ(pp.dpdk->latency().mean(),
+                  bb.dpdk->latency().mean());
+        EXPECT_EQ(pp.dpdk->latency().percentile(99),
+                  bb.dpdk->latency().percentile(99));
+    }
+
+    EXPECT_EQ(pp.bed.engine().pastEvents(), 0u);
+    EXPECT_EQ(bb.bed.engine().pastEvents(), 0u);
+    EXPECT_EQ(pp.bed.cache().auditInvariants(), 0u);
+    EXPECT_EQ(bb.bed.cache().auditInvariants(), 0u);
+}
+
+TEST(NicBurst, BurstCutsEngineEventsAtLineRate)
+{
+    // The 100 Gbps acceptance point: same full-rate DPDK-T scenario
+    // in both modes; the burst path must process >= 5x fewer engine
+    // events while the workload-visible outcome stays identical.
+    std::uint64_t fired[2] = {0, 0};
+    std::uint64_t ops[2] = {0, 0};
+    std::uint64_t delivered[2] = {0, 0};
+    const Tick modes[2] = {0, NicConfig::kDefaultBurstInterval};
+    for (unsigned m = 0; m < 2; ++m) {
+        Testbed bed(ServerConfig::paper()); // scale 1: true 100 Gbps
+        NicConfig nc;                       // 100 Gbps default
+        nc.burst_interval = modes[m];
+        DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true, nc);
+        dpdk.start();
+        bed.run(5 * kMsec);
+        fired[m] = bed.engine().eventsFired();
+        ops[m] = dpdk.ops().value();
+        delivered[m] = dpdk.nicDevice().delivered().value();
+    }
+    EXPECT_EQ(ops[0], ops[1]);
+    EXPECT_EQ(delivered[0], delivered[1]);
+    ASSERT_GT(fired[1], 0u);
+    const double reduction = double(fired[0]) / double(fired[1]);
+    RecordProperty("events_per_packet", std::to_string(fired[0]));
+    RecordProperty("events_burst", std::to_string(fired[1]));
+    EXPECT_GE(reduction, 5.0)
+        << "per-packet events: " << fired[0]
+        << ", burst events: " << fired[1];
+}
+
+TEST(NicBurst, StopAppliesPastArrivalsAndHaltsFutureOnes)
+{
+    Rig r;
+    NicConfig cfg;
+    cfg.num_queues = 1;
+    cfg.ring_entries = 4096;
+    cfg.offered_gbps = 10.0;
+    cfg.burst_interval = 16 * kUsec;
+    Nic &nic = r.makeNic(cfg);
+    nic.start();
+    // Stop mid-burst-interval: arrivals logically before the stop
+    // must be applied, later ones discarded.
+    r.eng.runFor(kMsec + 37);
+    nic.stop();
+    std::uint64_t n = nic.delivered().value();
+    ASSERT_GT(n, 0u);
+    r.eng.runFor(5 * kMsec);
+    EXPECT_EQ(nic.delivered().value(), n);
+    // Restart resumes generation.
+    nic.start();
+    r.eng.runFor(kMsec);
+    EXPECT_GT(nic.delivered().value(), n);
+}

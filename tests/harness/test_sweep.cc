@@ -277,11 +277,13 @@ TEST(SweepOptions, CliParsing)
     EXPECT_FALSE(o.list);
     EXPECT_EQ(o.effectiveJobs(), 3u);
 
-    const char *argv2[] = {"bench", "-j4", "--list"};
+    const char *argv2[] = {"bench", "-j4", "--list", "--burst", "0"};
     SweepOptions o2 = SweepOptions::parse(
         "bench", int(std::size(argv2)), const_cast<char **>(argv2));
     EXPECT_EQ(o2.jobs, 4u);
     EXPECT_TRUE(o2.list);
+    EXPECT_EQ(o2.burst, "0");
+    EXPECT_TRUE(o.burst.empty()); // untouched when not passed
 }
 
 TEST(SweepOptions, EffectiveJobsHonoursEnv)
@@ -311,6 +313,7 @@ TEST(ScenarioCodec, MicroResultRoundTrips)
     }
     m.net_tail_us = 12.75;
     m.net_rd_gbps = 88.125;
+    m.past_events = 7.0;
 
     MicroResult back = microResultFrom(
         Record::deserialize(toRecord(m).serialize()));
@@ -320,6 +323,7 @@ TEST(ScenarioCodec, MicroResultRoundTrips)
     }
     EXPECT_EQ(back.net_tail_us, m.net_tail_us);
     EXPECT_EQ(back.net_rd_gbps, m.net_rd_gbps);
+    EXPECT_EQ(back.past_events, m.past_events);
 }
 
 TEST(ScenarioCodec, ScenarioResultRoundTrips)
@@ -339,6 +343,7 @@ TEST(ScenarioCodec, ScenarioResultRoundTrips)
     s.fc_nic_to_host_us = 1.5;
     s.ffsbh_regex_ms = 2.25;
     s.mem_rd_gbps = 40.0 / 3.0;
+    s.past_events = 3.0;
 
     ScenarioResult back = scenarioResultFrom(
         Record::deserialize(toRecord(s).serialize()));
@@ -359,6 +364,7 @@ TEST(ScenarioCodec, ScenarioResultRoundTrips)
     EXPECT_EQ(back.fc_nic_to_host_us, s.fc_nic_to_host_us);
     EXPECT_EQ(back.ffsbh_regex_ms, s.ffsbh_regex_ms);
     EXPECT_EQ(back.mem_rd_gbps, s.mem_rd_gbps);
+    EXPECT_EQ(back.past_events, s.past_events);
     // find() still works on the reconstructed struct.
     ASSERT_NE(back.find("wl-1"), nullptr);
     EXPECT_EQ(back.find("nope"), nullptr);

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for Engine::Batch, the batch-expansion pump behind the
+ * NIC's burst arrival path: periodic firing, (begin, end] window
+ * bookkeeping, expansion counters, and stop/restart semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+
+using namespace a4;
+
+TEST(EngineBatch, FiresPeriodicallyAndCountsExpansions)
+{
+    Engine eng;
+    Engine::Batch batch;
+    std::uint64_t calls = 0;
+    Tick last_end = 0;
+    batch.init(eng, [&](Tick begin, Tick end) -> std::uint64_t {
+        EXPECT_EQ(begin, last_end);
+        EXPECT_EQ(end, eng.now());
+        last_end = end;
+        ++calls;
+        return 3;
+    });
+    batch.start(100);
+    EXPECT_TRUE(batch.active());
+    EXPECT_EQ(batch.period(), 100u);
+
+    eng.runFor(1000);
+    EXPECT_EQ(calls, 10u);
+    EXPECT_EQ(eng.batchFirings(), 10u);
+    EXPECT_EQ(eng.batchExpanded(), 30u);
+    EXPECT_DOUBLE_EQ(eng.batchExpansionRate(), 3.0);
+    // One engine event per firing, no per-sub-event events.
+    EXPECT_EQ(eng.eventsFired(), 10u);
+}
+
+TEST(EngineBatch, StopHaltsAndRestartResumes)
+{
+    Engine eng;
+    Engine::Batch batch;
+    std::uint64_t calls = 0;
+    batch.init(eng, [&](Tick, Tick) -> std::uint64_t {
+        ++calls;
+        return 0;
+    });
+    batch.start(50);
+    eng.runFor(200);
+    EXPECT_EQ(calls, 4u);
+
+    batch.stop();
+    EXPECT_FALSE(batch.active());
+    eng.runFor(500);
+    EXPECT_EQ(calls, 4u);
+
+    // Restart re-anchors the window at the current time.
+    batch.start(50);
+    eng.runFor(100);
+    EXPECT_EQ(calls, 6u);
+}
+
+TEST(EngineBatch, StopFromInsideCallback)
+{
+    Engine eng;
+    Engine::Batch batch;
+    std::uint64_t calls = 0;
+    batch.init(eng, [&](Tick, Tick) -> std::uint64_t {
+        if (++calls == 3)
+            batch.stop();
+        return 1;
+    });
+    batch.start(10);
+    eng.runFor(1000);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(eng.batchExpanded(), 3u);
+}
+
+TEST(EngineBatch, ZeroPeriodIsClampedToOne)
+{
+    Engine eng;
+    Engine::Batch batch;
+    std::uint64_t calls = 0;
+    batch.init(eng, [&](Tick, Tick) -> std::uint64_t {
+        ++calls;
+        return 0;
+    });
+    batch.start(0);
+    EXPECT_EQ(batch.period(), 1u);
+    eng.runFor(5);
+    EXPECT_EQ(calls, 5u);
+}
