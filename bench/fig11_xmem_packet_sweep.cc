@@ -38,8 +38,7 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const unsigned packets[] = {64, 128, 256, 512, 1024, 1514};
-    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
-                              Scheme::A4d};
+    const std::span<const Scheme> schemes = microSchemes();
 
     Sweep sw("fig11_xmem_packet_sweep", argc, argv);
     for (Scheme s : schemes) {

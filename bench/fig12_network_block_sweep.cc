@@ -39,8 +39,7 @@ main(int argc, char **argv)
     setQuiet(true);
     const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
                                        128, 256, 512, 1024, 2048};
-    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
-                              Scheme::A4d};
+    const std::span<const Scheme> schemes = microSchemes();
 
     Sweep sw("fig12_network_block_sweep", argc, argv);
     for (Scheme s : schemes) {

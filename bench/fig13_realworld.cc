@@ -36,12 +36,8 @@ pointName(bool hpw_heavy, Scheme s)
 void
 emitScenario(const Sweep &sw, bool hpw_heavy)
 {
-    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
-                              Scheme::A4a,     Scheme::A4b,
-                              Scheme::A4c,     Scheme::A4d};
-
     std::map<Scheme, std::optional<ScenarioResult>> results;
-    for (Scheme s : schemes) {
+    for (Scheme s : allSchemes()) {
         if (const Record *rec = sw.find(pointName(hpw_heavy, s)))
             results[s] = scenarioResultFrom(*rec);
     }
@@ -114,13 +110,9 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
-                              Scheme::A4a,     Scheme::A4b,
-                              Scheme::A4c,     Scheme::A4d};
-
     Sweep sw("fig13_realworld", argc, argv);
     for (bool hpw_heavy : {true, false}) {
-        for (Scheme s : schemes) {
+        for (Scheme s : allSchemes()) {
             sw.add(pointName(hpw_heavy, s), [hpw_heavy, s] {
                 return toRecord(runRealWorldScenario(hpw_heavy, s));
             });

@@ -26,10 +26,15 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const Scheme schemes[] = {Scheme::Default, Scheme::Isolate,
-                              Scheme::A4a,     Scheme::A4b,
-                              Scheme::A4c,     Scheme::A4d};
-    const char *labels[] = {"DF", "IS", "A4-a", "A4-b", "A4-c", "A4-d"};
+    const std::span<const Scheme> schemes = allSchemes();
+    // Short row labels, derived so the table tracks allSchemes().
+    auto label = [](Scheme s) -> std::string {
+        if (s == Scheme::Default)
+            return "DF";
+        if (s == Scheme::Isolate)
+            return "IS";
+        return schemeName(s);
+    };
 
     Sweep sw("fig14_breakdown", argc, argv);
     for (Scheme s : schemes) {
@@ -39,7 +44,7 @@ main(int argc, char **argv)
     }
     sw.run();
 
-    constexpr std::size_t n_schemes = std::size(schemes);
+    const std::size_t n_schemes = schemes.size();
     std::vector<std::optional<ScenarioResult>> results(n_schemes);
     for (std::size_t i = 0; i < n_schemes; ++i) {
         if (const Record *rec = sw.find(schemeName(schemes[i])))
@@ -53,7 +58,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < n_schemes; ++i) {
         if (!results[i])
             continue;
-        ta.addRow({labels[i],
+        ta.addRow({label(schemes[i]),
                    Table::num(results[i]->fc_nic_to_host_us, 2),
                    Table::num(results[i]->fc_pointer_us, 3),
                    Table::num(results[i]->fc_process_us, 3)});
@@ -66,7 +71,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < n_schemes; ++i) {
         if (!results[i])
             continue;
-        tb.addRow({labels[i], Table::num(results[i]->ffsbh_read_ms, 2),
+        tb.addRow({label(schemes[i]), Table::num(results[i]->ffsbh_read_ms, 2),
                    Table::num(results[i]->ffsbh_regex_ms, 2),
                    Table::num(results[i]->ffsbh_write_ms, 2)});
     }
@@ -79,7 +84,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < n_schemes; ++i) {
         if (!results[i])
             continue;
-        tc.addRow({labels[i], Table::num(results[i]->fc_rd_gbps),
+        tc.addRow({label(schemes[i]), Table::num(results[i]->fc_rd_gbps),
                    Table::num(results[i]->fc_wr_gbps),
                    Table::num(results[i]->ffsbh_rd_gbps),
                    Table::num(results[i]->ffsbh_wr_gbps)});
@@ -92,7 +97,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < n_schemes; ++i) {
         if (!results[i])
             continue;
-        td.addRow({labels[i], Table::num(results[i]->mem_rd_gbps),
+        td.addRow({label(schemes[i]), Table::num(results[i]->mem_rd_gbps),
                    Table::num(results[i]->mem_wr_gbps)});
     }
     td.print();

@@ -90,14 +90,20 @@ scaledCpuStream(CpuStreamConfig cfg, unsigned scale)
     return cfg;
 }
 
+/** Scale a nominal Redis key count (floor keeps the zipf hot set). */
+inline std::uint64_t
+scaledRedisKeys(std::uint64_t nominal, unsigned scale)
+{
+    std::uint64_t v = nominal / (scale ? scale : 1);
+    return v == 0 ? 1024 : v;
+}
+
 /** Redis config scaled. */
 inline RedisConfig
 scaledRedisConfig(unsigned scale)
 {
     RedisConfig cfg;
-    cfg.num_keys /= scale ? scale : 1;
-    if (cfg.num_keys == 0)
-        cfg.num_keys = 1024;
+    cfg.num_keys = scaledRedisKeys(cfg.num_keys, scale);
     cfg.server_cpu_ns_per_op *= scale;
     cfg.client_cpu_ns_per_op *= scale;
     return cfg;

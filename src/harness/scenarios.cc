@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "harness/builders.hh"
+#include "harness/scaling.hh"
+#include "harness/spec.hh"
 #include "sim/log.hh"
 
 namespace a4
@@ -20,6 +21,33 @@ schemeName(Scheme s)
       case Scheme::A4d: return "A4-d";
     }
     return "?";
+}
+
+std::span<const Scheme>
+allSchemes()
+{
+    static const Scheme all[] = {Scheme::Default, Scheme::Isolate,
+                                 Scheme::A4a,     Scheme::A4b,
+                                 Scheme::A4c,     Scheme::A4d};
+    return all;
+}
+
+std::span<const Scheme>
+microSchemes()
+{
+    static const Scheme micro[] = {Scheme::Default, Scheme::Isolate,
+                                   Scheme::A4d};
+    return micro;
+}
+
+std::optional<Scheme>
+schemeFromName(const std::string &name)
+{
+    for (Scheme s : allSchemes()) {
+        if (name == schemeName(s))
+            return s;
+    }
+    return std::nullopt;
 }
 
 char
@@ -63,190 +91,51 @@ ScenarioResult::avgRelative(const ScenarioResult &r,
     return n ? std::exp(log_sum / n) : 0.0;
 }
 
-namespace
-{
-
-/** Default A4 parameters for scenario runs (compressed intervals). */
-A4Params
-scenarioA4(char letter, const std::optional<A4Params> &override)
-{
-    A4Params base;
-    if (override)
-        base = *override;
-    else {
-        base.monitor_interval = 5 * kMsec;
-        base.min_accesses = 500;
-        base.min_dma_lines = 500;
-    }
-    return a4Variant(letter, base);
-}
-
-struct RealWorldRig
-{
-    Testbed bed;
-    FastclickWorkload *fastclick = nullptr;
-    FioWorkload *ffsb_h = nullptr;
-    FioWorkload *ffsb_l = nullptr; // LPW-heavy only
-    std::vector<Workload *> all;
-    std::vector<WorkloadDesc> descs;
-    std::vector<bool> multi_io;
-
-    void
-    add(Workload &w, QosPriority prio, bool is_multi_io)
-    {
-        all.push_back(&w);
-        descs.push_back(Testbed::describe(w, prio));
-        multi_io.push_back(is_multi_io);
-    }
-};
-
-/** Build the Table-2 mix for one scenario. */
-void
-buildRealWorld(RealWorldRig &rig, bool hpw_heavy)
-{
-    Testbed &bed = rig.bed;
-
-    rig.fastclick = &addFastclick(bed, "fastclick");
-    SsdConfig heavy_ssd; // 3-SSD share of the array
-    heavy_ssd.link_bw_bps = 9.6e9;
-    heavy_ssd.parallelism = 12;
-    FioConfig hcfg = ffsbHeavyConfig(bed.config().scale);
-    hcfg.regex_ns_per_line = 19.0 * bed.config().scale;
-    rig.ffsb_h = &addFioCustom(bed, "ffsb-h", hcfg, heavy_ssd);
-
-    auto [redis_s, redis_c] = addRedis(bed);
-
-    if (hpw_heavy) {
-        // 7 HPWs: fastclick redis-s redis-c x264 parest xalancbmk lbm
-        // 4 LPWs: ffsb-h omnetpp exchange2 bwaves
-        rig.add(*rig.fastclick, QosPriority::High, true);
-        rig.add(redis_s, QosPriority::High, false);
-        rig.add(redis_c, QosPriority::High, false);
-        rig.add(addSpec(bed, "x264"), QosPriority::High, false);
-        rig.add(addSpec(bed, "parest"), QosPriority::High, false);
-        rig.add(addSpec(bed, "xalancbmk"), QosPriority::High, false);
-        rig.add(addSpec(bed, "lbm"), QosPriority::High, false);
-        rig.add(*rig.ffsb_h, QosPriority::Low, true);
-        rig.add(addSpec(bed, "omnetpp"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "exchange2"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "bwaves"), QosPriority::Low, false);
-    } else {
-        // 4 HPWs: fastclick ffsb-l mcf blender
-        // 8 LPWs: ffsb-h redis-s redis-c x264 parest fotonik3d lbm
-        //         bwaves
-        SsdConfig light_ssd; // single-SSD share
-        light_ssd.link_bw_bps = 3.2e9;
-        light_ssd.parallelism = 4;
-        FioConfig lcfg = ffsbLightConfig(bed.config().scale);
-        lcfg.regex_ns_per_line = 19.0 * bed.config().scale;
-        rig.ffsb_l = &addFioCustom(bed, "ffsb-l", lcfg, light_ssd);
-
-        rig.add(*rig.fastclick, QosPriority::High, true);
-        rig.add(*rig.ffsb_l, QosPriority::High, true);
-        rig.add(addSpec(bed, "mcf"), QosPriority::High, false);
-        rig.add(addSpec(bed, "blender"), QosPriority::High, false);
-        rig.add(*rig.ffsb_h, QosPriority::Low, true);
-        rig.add(redis_s, QosPriority::Low, false);
-        rig.add(redis_c, QosPriority::Low, false);
-        rig.add(addSpec(bed, "x264"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "parest"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "fotonik3d"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "lbm"), QosPriority::Low, false);
-        rig.add(addSpec(bed, "bwaves"), QosPriority::Low, false);
-    }
-}
-
-/** Apply the management scheme; returns the A4 manager if any. */
-std::unique_ptr<A4Manager>
-applyScheme(RealWorldRig &rig, Scheme scheme,
-            const std::optional<A4Params> &override)
-{
-    Testbed &bed = rig.bed;
-    if (scheme == Scheme::Default) {
-        DefaultManager mgr(bed.cat());
-        mgr.start();
-        return nullptr;
-    }
-    if (scheme == Scheme::Isolate) {
-        IsolateManager mgr(bed.cat());
-        for (const auto &d : rig.descs)
-            mgr.addWorkload(d);
-        mgr.start();
-        return nullptr;
-    }
-    auto mgr = std::make_unique<A4Manager>(
-        bed.engine(), bed.cache(), bed.cat(), bed.ddio(), bed.dram(),
-        bed.pcie(), scenarioA4(a4Letter(scheme), override));
-    for (const auto &d : rig.descs)
-        mgr->addWorkload(d);
-    mgr->start();
-    return mgr;
-}
-
-} // namespace
-
 ScenarioResult
 runRealWorldScenario(bool hpw_heavy, Scheme scheme,
                      const ScenarioOptions &opt)
 {
-    RealWorldRig rig;
-    buildRealWorld(rig, hpw_heavy);
-    std::unique_ptr<A4Manager> mgr =
-        applyScheme(rig, scheme, opt.a4_override);
-
-    Measurement m(rig.bed, rig.all, opt.windows);
-    m.run();
+    // The canonical declarative spec reproduces the historical
+    // hand-wired testbed bit for bit (see realWorldSpec()); this
+    // wrapper only restates the generic SpecResult in the legacy
+    // struct, preserving the original conversion arithmetic exactly.
+    ScenarioSpec spec = realWorldSpec(hpw_heavy);
+    spec.scheme = scheme;
+    spec.a4 = opt.a4_override;
+    SpecResult sr = runSpecWithWindows(spec, opt.windows);
 
     ScenarioResult res;
-    SystemSample sys = m.system();
-    const unsigned scale = rig.bed.config().scale;
-
-    for (std::size_t i = 0; i < rig.all.size(); ++i) {
-        Workload &w = *rig.all[i];
+    for (const SpecWorkloadResult &w : sr.workloads) {
         WorkloadResult r;
-        r.name = w.name();
-        r.hpw = rig.descs[i].priority == QosPriority::High;
-        r.multithread_io = rig.multi_io[i];
-        WorkloadSample s = m.sample(w);
-        r.llc_hit_rate = s.llcHitRate();
-        // §7.2: multi-threaded I/O workloads are measured by
-        // throughput = inverse latency per request (IPC and raw op
-        // rates are inflated by polling/idle loops); single-threaded
-        // workloads by IPC.
-        r.perf = r.multithread_io
-                     ? (w.latency().count()
-                            ? 1e9 / w.latency().mean()
-                            : 0.0)
-                     : m.ipc(w);
-        r.antagonist = mgr && mgr->isAntagonist(w.id());
-        if (w.latency().count())
-            r.tail_latency_us = w.latency().percentile(99) / 1000.0;
+        r.name = w.name;
+        r.hpw = w.hpw;
+        r.multithread_io = w.multithread_io;
+        r.perf = w.perf;
+        r.llc_hit_rate = w.llc_hit_rate;
+        r.antagonist = w.antagonist;
+        r.tail_latency_us = w.tail_latency_us;
         res.workloads.push_back(std::move(r));
     }
 
-    FastclickWorkload &fc = *rig.fastclick;
-    res.fc_nic_to_host_us = fc.nicToHost().mean() / 1000.0;
-    res.fc_pointer_us = fc.pointerAccess().mean() / 1000.0;
-    res.fc_process_us = fc.processing().mean() / 1000.0;
+    const SpecWorkloadResult *fc = sr.find("fastclick");
+    res.fc_nic_to_host_us = fc->nic_to_host_ns / 1000.0;
+    res.fc_pointer_us = fc->pointer_ns / 1000.0;
+    res.fc_process_us = fc->process_ns / 1000.0;
 
-    FioWorkload &fh = *rig.ffsb_h;
-    res.ffsbh_read_ms = fh.readLatency().mean() / 1e6;
-    res.ffsbh_regex_ms = fh.regexLatency().mean() / 1e6;
-    res.ffsbh_write_ms = fh.writeLatency().mean() / 1e6;
+    const SpecWorkloadResult *fh = sr.find("ffsb-h");
+    res.ffsbh_read_ms = fh->read_ns / 1e6;
+    res.ffsbh_regex_ms = fh->regex_ns / 1e6;
+    res.ffsbh_write_ms = fh->write_ns / 1e6;
 
     const double to_gbps =
-        1e9 / double(opt.windows.measure) * scale / 1e9;
-    res.fc_rd_gbps =
-        double(sys.ports[fc.ioPort()].ingress_bytes) * to_gbps;
-    res.fc_wr_gbps =
-        double(sys.ports[fc.ioPort()].egress_bytes) * to_gbps;
-    res.ffsbh_rd_gbps =
-        double(sys.ports[fh.ioPort()].ingress_bytes) * to_gbps;
-    res.ffsbh_wr_gbps =
-        double(sys.ports[fh.ioPort()].egress_bytes) * to_gbps;
-    res.mem_rd_gbps = unscaleBw(sys.memReadBwBps(), scale) / 1e9;
-    res.mem_wr_gbps = unscaleBw(sys.memWriteBwBps(), scale) / 1e9;
-    res.past_events = double(rig.bed.engine().pastEvents());
+        1e9 / double(opt.windows.measure) * sr.scale / 1e9;
+    res.fc_rd_gbps = fc->ingress_bytes * to_gbps;
+    res.fc_wr_gbps = fc->egress_bytes * to_gbps;
+    res.ffsbh_rd_gbps = fh->ingress_bytes * to_gbps;
+    res.ffsbh_wr_gbps = fh->egress_bytes * to_gbps;
+    res.mem_rd_gbps = unscaleBw(sr.mem_rd_bw_bps, sr.scale) / 1e9;
+    res.mem_wr_gbps = unscaleBw(sr.mem_wr_bw_bps, sr.scale) / 1e9;
+    res.past_events = sr.past_events;
     return res;
 }
 
@@ -254,62 +143,23 @@ MicroResult
 runMicroScenario(Scheme scheme, unsigned packet_bytes,
                  std::uint64_t storage_block, const ScenarioOptions &opt)
 {
-    Testbed bed;
-
-    NicConfig nic_cfg;
-    nic_cfg.packet_bytes = packet_bytes;
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true, nic_cfg);
-    FioWorkload &fio = addFio(bed, "fio", storage_block);
-    CpuStreamWorkload *xmem[3];
-    for (unsigned v = 0; v < 3; ++v) {
-        xmem[v] = &addXmem(bed, sformat("xmem%u", v + 1), v + 1, 2);
-    }
-
-    std::vector<WorkloadDesc> descs{
-        Testbed::describe(dpdk, QosPriority::High),
-        Testbed::describe(fio, QosPriority::Low),
-        Testbed::describe(*xmem[0], QosPriority::High),
-        Testbed::describe(*xmem[1], QosPriority::Low),
-        Testbed::describe(*xmem[2], QosPriority::Low),
-    };
-
-    std::unique_ptr<A4Manager> mgr;
-    if (scheme == Scheme::Isolate) {
-        // §7.1: DPDK at way[2:3], FIO at way[4:6]; the X-Mems take
-        // the remaining ways in proportion (2 cores each).
-        IsolateManager im(bed.cat());
-        im.pin(descs[0], 2, 3);
-        im.pin(descs[1], 4, 6);
-        im.pin(descs[2], 7, 8);
-        im.pin(descs[3], 9, 10);
-        im.pin(descs[4], 0, 1);
-        im.start();
-    } else if (isA4(scheme)) {
-        mgr = std::make_unique<A4Manager>(
-            bed.engine(), bed.cache(), bed.cat(), bed.ddio(),
-            bed.dram(), bed.pcie(),
-            scenarioA4(a4Letter(scheme), opt.a4_override));
-        for (const auto &d : descs)
-            mgr->addWorkload(d);
-        mgr->start();
-    }
-
-    std::vector<Workload *> all{&dpdk, &fio, xmem[0], xmem[1],
-                                xmem[2]};
-    Measurement m(bed, all, opt.windows);
-    m.run();
+    ScenarioSpec spec = microSpec(packet_bytes, storage_block);
+    spec.scheme = scheme;
+    spec.a4 = opt.a4_override;
+    SpecResult sr = runSpecWithWindows(spec, opt.windows);
 
     MicroResult res;
-    SystemSample sys = m.system();
     for (unsigned v = 0; v < 3; ++v) {
-        res.xmem_ipc[v] = m.ipc(*xmem[v]);
-        res.xmem_hit[v] = m.sample(*xmem[v]).llcHitRate();
+        const SpecWorkloadResult *x =
+            sr.find(sformat("xmem%u", v + 1));
+        res.xmem_ipc[v] = x->ipc;
+        res.xmem_hit[v] = x->llc_hit_rate;
     }
-    res.net_tail_us = dpdk.latency().percentile(99) / 1000.0;
-    res.net_rd_gbps =
-        double(sys.ports[dpdk.ioPort()].ingress_bytes) * 1e9 /
-        double(opt.windows.measure) * bed.config().scale / 1e9;
-    res.past_events = double(bed.engine().pastEvents());
+    const SpecWorkloadResult *dpdk = sr.find("dpdk-t");
+    res.net_tail_us = dpdk->tail_latency_us;
+    res.net_rd_gbps = dpdk->ingress_bytes * 1e9 /
+                      double(opt.windows.measure) * sr.scale / 1e9;
+    res.past_events = sr.past_events;
     return res;
 }
 

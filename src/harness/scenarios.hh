@@ -10,6 +10,7 @@
 #define A4_HARNESS_SCENARIOS_HH
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,15 @@ namespace a4
 enum class Scheme { Default, Isolate, A4a, A4b, A4c, A4d };
 
 const char *schemeName(Scheme s);
+
+/** All evaluated schemes, in bench display order. */
+std::span<const Scheme> allSchemes();
+
+/** The microbenchmark subset (Fig. 11/12): Default/Isolate/A4-d. */
+std::span<const Scheme> microSchemes();
+
+/** Inverse of schemeName(); nullopt for unknown names. */
+std::optional<Scheme> schemeFromName(const std::string &name);
 
 /** True for the A4 variants. */
 inline bool

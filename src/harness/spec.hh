@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Declarative scenario specifications: compose any workload mix from
+ * data instead of hand-wired C++.
+ *
+ * A ScenarioSpec is a value type describing one co-run: an ordered
+ * list of workload entries (kind, name, HPW/LPW class, per-kind
+ * knobs), the management scheme, warm-up/measure windows, and an
+ * optional A4Params override. Specs round-trip through a simple
+ * line-based `key=value` text form (see docs/SCENARIOS.md for the
+ * grammar) bit-exactly — doubles serialize as C99 hex floats, the
+ * same discipline as the sweep Record codec — so a spec printed by
+ * one binary reproduces the identical simulation anywhere.
+ *
+ * A factory registry keyed by workload kind (dpdk, fastclick, fio,
+ * xmem, spec, redis-server, redis-client) turns entries into Testbed
+ * workloads; the single generic runSpec() builds the testbed, applies
+ * the scheme, runs the warm-up/measure protocol, and returns a
+ * SpecResult with per-workload metrics. The paper's evaluation
+ * scenarios (§7) are canonical specs in the named ScenarioRegistry —
+ * runMicroScenario()/runRealWorldScenario() are thin converters on
+ * top of runSpec() and remain byte-identical to their historical
+ * hand-wired implementations — and the registry also carries mixes
+ * the paper never ran; `a4sim` drives any of them from the command
+ * line.
+ *
+ * Ordering semantics an entry list pins down (they decide core/port/
+ * address-map assignment, so they are part of the spec's identity):
+ * entries are *tracked* (measured, registered with managers, started)
+ * in list order, and *constructed* in `build` order (default: list
+ * order). The canonical real-world specs use explicit build ranks to
+ * reproduce the historical construction interleaving bit-for-bit.
+ */
+
+#ifndef A4_HARNESS_SPEC_HH
+#define A4_HARNESS_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/scenarios.hh"
+
+namespace a4
+{
+
+/** One workload knob: a raw key=value pair (values keep their exact
+ *  text so serialization is bit-stable) plus the source line for
+ *  diagnostics (0 = set programmatically). */
+struct SpecKnob
+{
+    std::string key;
+    std::string value;
+    unsigned line = 0;
+};
+
+/** One workload entry of a scenario. */
+struct WorkloadSpec
+{
+    std::string name; ///< unique; also the constructed workload name
+    std::string kind; ///< factory-registry key
+    bool hpw = false; ///< QoS class (High vs Low priority)
+
+    /** Construction rank (core/port/address allocation order);
+     *  negative = the entry's list position. */
+    int build = -1;
+
+    /** Explicit way range under the Isolate scheme; entries without
+     *  a pin fall back to proportional auto-partitioning. */
+    std::optional<std::pair<unsigned, unsigned>> pin;
+
+    std::vector<SpecKnob> knobs;
+    unsigned line = 0; ///< declaring line (0 = programmatic)
+
+    /** @name Typed knob setters (canonical text forms; last wins). @{ */
+    void set(const std::string &key, std::uint64_t v);
+    void set(const std::string &key, double v);
+    void set(const std::string &key, const std::string &v);
+    /** @} */
+
+    /** @name Typed knob getters (default when absent; fatal on a
+     *  value that does not parse as the requested type). @{ */
+    const SpecKnob *find(const std::string &key) const;
+    std::uint64_t u64(const std::string &key, std::uint64_t dflt) const;
+    /** u64 bounded to 32 bits — for knobs consumed as unsigned;
+     *  rejects (never wraps) larger values. */
+    unsigned u32(const std::string &key, unsigned dflt) const;
+    double num(const std::string &key, double dflt) const;
+    bool flag(const std::string &key, bool dflt) const;
+    std::string str(const std::string &key,
+                    const std::string &dflt) const;
+    /** @} */
+};
+
+/** A complete declarative scenario. */
+struct ScenarioSpec
+{
+    std::string name; ///< registry name ("" = ad hoc)
+    Scheme scheme = Scheme::Default;
+
+    /** Nominal windows; runSpec() adjusts them by the environment
+     *  knobs (A4_TEST_DURATION_SCALE / A4_BENCH_WINDOWS_MS) exactly
+     *  once. Defaults match the paper-scenario protocol. */
+    Windows windows{250 * kMsec, 100 * kMsec};
+
+    /** Overrides thresholds/timing of the A4 schemes (Fig. 15);
+     *  absent = the scenario defaults (compressed 5 ms intervals). */
+    std::optional<A4Params> a4;
+
+    std::vector<WorkloadSpec> workloads;
+
+    /** Append an entry (name must be unique; fatal otherwise). */
+    WorkloadSpec &add(const std::string &name, const std::string &kind,
+                      bool hpw);
+
+    WorkloadSpec *findWorkload(const std::string &name);
+    const WorkloadSpec *findWorkload(const std::string &name) const;
+};
+
+/**
+ * Parse the text form. @p origin names the source in diagnostics
+ * ("file.spec:12: unknown knob ..."). Structural errors, unknown
+ * keys/kinds/knobs, and malformed values all throw FatalError naming
+ * the offending line. Later assignments win, so appending
+ * "name.key = value" lines overrides earlier ones.
+ */
+ScenarioSpec parseSpec(const std::string &text,
+                       const std::string &origin = "<spec>");
+
+/** parseSpec() over a file's contents (fatal when unreadable). */
+ScenarioSpec loadSpecFile(const std::string &path);
+
+/**
+ * Canonical text form; parseSpec(serializeSpec(s)) reproduces @p s
+ * exactly (and, transitively, the identical simulation).
+ */
+std::string serializeSpec(const ScenarioSpec &spec);
+
+/**
+ * Apply command-line overrides: each assignment is "scheme=A4-d",
+ * "dpdk0.packet_bytes=256", "a4.t5=0.8", "measure_ns=...", ... —
+ * exactly the grammar of one spec line. The whole batch is applied
+ * before the spec revalidates, so "workload=extra" followed by
+ * "extra.kind=fio" adds a workload. Fatal (naming @p origin) on
+ * unknown targets or malformed values.
+ */
+void applySpecOverrides(ScenarioSpec &spec,
+                        const std::vector<std::string> &assignments,
+                        const std::string &origin = "--set");
+
+/** applySpecOverrides() for a single assignment. */
+void applySpecOverride(ScenarioSpec &spec, const std::string &assignment,
+                       const std::string &origin = "--set");
+
+/** Registered workload kinds, factory order. */
+std::vector<std::string> workloadKinds();
+
+/** True when @p kind reports throughput (inverse request latency)
+ *  instead of IPC — the §7.2 multi-threaded I/O workload rule. */
+bool kindMultithreadIo(const std::string &kind);
+
+// --------------------------------------------------------------------
+// Results
+
+/** Per-workload outcome of a spec run (everything the legacy result
+ *  structs derive from, in raw unconverted units). */
+struct SpecWorkloadResult
+{
+    std::string name;
+    std::string kind;
+    bool hpw = false;
+    bool multithread_io = false;
+    bool antagonist = false;   ///< flagged by A4 during the run
+
+    double perf = 0.0;         ///< inverse latency (mt-I/O) or IPC
+    double ipc = 0.0;
+    double llc_hit_rate = 0.0;
+    double tail_latency_us = 0.0; ///< p99, I/O workloads only
+
+    /** Raw PCIe port byte counts over the measure window (exact
+     *  integers; convert with the window/scale in SpecResult). */
+    double ingress_bytes = 0.0;
+    double egress_bytes = 0.0;
+
+    /** Fig. 14a components (fastclick kinds), mean ns. */
+    bool has_net_breakdown = false;
+    double nic_to_host_ns = 0.0;
+    double pointer_ns = 0.0;
+    double process_ns = 0.0;
+
+    /** Fig. 14b components (fio kinds), mean ns. */
+    bool has_storage_breakdown = false;
+    double read_ns = 0.0;
+    double regex_ns = 0.0;
+    double write_ns = 0.0;
+};
+
+/** Outcome of one runSpec() call. */
+struct SpecResult
+{
+    std::vector<SpecWorkloadResult> workloads;
+
+    double mem_rd_bw_bps = 0.0; ///< machine-scale (unscale to paper)
+    double mem_wr_bw_bps = 0.0;
+    double past_events = 0.0;   ///< Engine::pastEvents() after the run
+
+    Tick measure_window = 0;    ///< resolved measure window (ns)
+    unsigned scale = 1;         ///< ServerConfig::scale of the run
+
+    const SpecWorkloadResult *find(const std::string &name) const;
+
+    /** Paper-equivalent GB/s for a raw port byte count. */
+    double toGbps(double bytes) const;
+};
+
+/** Run @p spec with windows adjusted from the environment. */
+SpecResult runSpec(const ScenarioSpec &spec);
+
+/** Run @p spec with explicitly resolved windows (no env adjust). */
+SpecResult runSpecWithWindows(const ScenarioSpec &spec,
+                              const Windows &windows);
+
+/** @name Sweep-pipe codec for SpecResult. @{ */
+Record toRecord(const SpecResult &r);
+SpecResult specResultFrom(const Record &rec);
+/** @} */
+
+// --------------------------------------------------------------------
+// Registry
+
+/** A named, ready-to-run scenario. */
+struct RegisteredScenario
+{
+    std::string name;
+    std::string description;
+    ScenarioSpec spec;
+};
+
+/** All registered scenarios: the paper's canonical mixes plus the
+ *  non-paper mixes this repository adds. */
+const std::vector<RegisteredScenario> &scenarioRegistry();
+
+/** Lookup by name; nullptr when absent. */
+const RegisteredScenario *findScenario(const std::string &name);
+
+/** @name Canonical parameterised specs (the paper's runs). @{ */
+/** §7.1 microbenchmark co-run: DPDK-T + FIO + X-Mem 1/2/3. */
+ScenarioSpec microSpec(unsigned packet_bytes,
+                       std::uint64_t storage_block);
+/** Table-2 real-world mix (HPW-heavy or LPW-heavy). */
+ScenarioSpec realWorldSpec(bool hpw_heavy);
+/** @} */
+
+} // namespace a4
+
+#endif // A4_HARNESS_SPEC_HH

@@ -12,6 +12,7 @@
 #include "harness/experiment.hh"
 #include "harness/jobpool.hh"
 #include "sim/log.hh"
+#include "sim/rng.hh"
 
 namespace a4
 {
@@ -193,7 +194,11 @@ usage(const std::string &bench, int code)
                  "                  engine event per packet, 1/on = "
                  "default interval, or an\n"
                  "                  interval in ns; results are "
-                 "byte-identical across modes\n",
+                 "byte-identical across modes\n"
+                 "  --seed N        RNG stream selector (sets $A4_SEED "
+                 "for every point and\n"
+                 "                  forked worker); 0 = the built-in "
+                 "default streams\n",
                  bench.c_str());
     std::exit(code);
 }
@@ -236,6 +241,13 @@ parseJobs(const std::string &bench, const std::string &val)
 
 } // namespace
 
+bool
+SweepOptions::takesValue(const std::string &flag)
+{
+    return flag == "--jobs" || flag == "-j" || flag == "--filter" ||
+           flag == "--json" || flag == "--burst" || flag == "--seed";
+}
+
 SweepOptions
 SweepOptions::parse(const std::string &bench, int argc, char **argv)
 {
@@ -257,6 +269,8 @@ SweepOptions::parse(const std::string &bench, int argc, char **argv)
             opt.json_path = val;
         } else if (optValue(bench, argc, argv, i, "--burst", val)) {
             opt.burst = val;
+        } else if (optValue(bench, argc, argv, i, "--seed", val)) {
+            opt.seed = val;
         } else if (arg == "--list") {
             opt.list = true;
         } else {
@@ -340,16 +354,21 @@ Sweep::run()
         std::exit(0);
     }
 
-    // --burst exports $A4_NIC_BURST so every point (and every forked
-    // worker) constructs its NICs in the requested arrival mode.
+    // --burst / --seed export $A4_NIC_BURST / $A4_SEED so every point
+    // (and every forked worker) constructs its devices in the
+    // requested arrival mode and RNG stream.
     if (!opt_.burst.empty())
         setenv("A4_NIC_BURST", opt_.burst.c_str(), 1);
+    if (!opt_.seed.empty())
+        setenv("A4_SEED", opt_.seed.c_str(), 1);
 
     // Validate the env knobs once, in the parent: their rejection
     // diagnostics print here, and the forked workers inherit the
     // dedup state so they stay silent.
     Windows::fromEnv();
     NicConfig::burstFromEnv();
+    SsdConfig::lazyFromEnv();
+    envSeed();
 
     jobs_used_ =
         std::min<std::size_t>(opt_.effectiveJobs(),
@@ -464,6 +483,10 @@ Sweep::writeJson(const std::string &path) const
     out << "  \"bench\": \"" << jsonEscape(bench_) << "\",\n";
     out << "  \"schema_version\": 1,\n";
     out << "  \"jobs\": " << jobs_used_ << ",\n";
+    // Non-default RNG stream: stamp it so a recorded JSON can always
+    // be reproduced (absent = the built-in streams).
+    if (const std::uint64_t s = envSeed())
+        out << "  \"seed\": " << s << ",\n";
     if (!opt_.filter.empty())
         out << "  \"filter\": \"" << jsonEscape(opt_.filter) << "\",\n";
     out << "  \"points\": [";

@@ -23,6 +23,11 @@
  *                     default interval, or an interval in ns) — the
  *                     equivalence baseline knob; output must be
  *                     byte-identical across modes
+ *   --seed N          RNG stream selector: sets $A4_SEED for every
+ *                     point (exported to forked workers), so any
+ *                     sweep or spec re-runs under a different — but
+ *                     still deterministic — random stream; 0 (the
+ *                     default) keeps the built-in streams
  *
  * Record values round-trip through the worker pipe as C99 hex floats,
  * so a parallel run reproduces the in-process doubles bit for bit.
@@ -79,11 +84,17 @@ struct SweepOptions
     std::string filter;
     std::string json_path;
     std::string burst; ///< non-empty: exported as $A4_NIC_BURST
+    std::string seed;  ///< non-empty: exported as $A4_SEED
     bool list = false;
 
     /** Parse argv; prints usage and exits on --help / bad args. */
     static SweepOptions parse(const std::string &bench, int argc,
                               char **argv);
+
+    /** True when @p flag is a shared option that consumes the next
+     *  argv element ("--jobs N" style) — the one list wrappers that
+     *  pre-scan argv (a4sim) must agree with parse() about. */
+    static bool takesValue(const std::string &flag);
 
     /** Resolved worker count (auto -> env/hardware). */
     unsigned effectiveJobs() const;

@@ -41,7 +41,7 @@ NicConfig::burstFromEnv()
 Nic::Nic(Engine &eng_, DmaEngine &dma_, AddressMap &addrs, PortId port_,
          const NicConfig &config)
     : eng(eng_), dma(dma_), csys(dma_.cacheSystem()), port(port_),
-      cfg(config), rng(cfg.seed)
+      cfg(config), rng(mixSeed(cfg.seed))
 {
     if (cfg.num_queues == 0 || cfg.ring_entries == 0)
         fatal("Nic: queues and ring entries must be non-zero");

@@ -1,0 +1,38 @@
+#include "sim/rng.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+std::uint64_t
+envSeed()
+{
+    const char *env = std::getenv("A4_SEED");
+    if (env == nullptr)
+        return 0;
+    // Pure digits only, then an errno-checked parse: strtoull both
+    // skips leading whitespace before a '-' (which it silently wraps
+    // around) and saturates on overflow — either would smuggle a
+    // garbage seed past the "rejected, never half-parsed" contract.
+    const bool digits_only =
+        *env != '\0' && env[std::strspn(env, "0123456789")] == '\0';
+    if (digits_only) {
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0')
+            return static_cast<std::uint64_t>(v);
+    }
+    static std::string warned;
+    warnOncePerValue(warned, env,
+                     "warning: A4_SEED: ignoring malformed value '%s' "
+                     "(want an unsigned integer; 0 = default streams)\n");
+    return 0;
+}
+
+} // namespace a4

@@ -90,6 +90,38 @@ class Rng
     std::uint64_t state[4];
 };
 
+/**
+ * $A4_SEED as a global RNG-stream selector: 0 when unset (or 0 — the
+ * default streams), otherwise the parsed value. Malformed values are
+ * rejected whole with one warning per offending value, like every
+ * other A4_* knob. Read at each workload/device construction, so
+ * tests can change the environment between runs.
+ */
+std::uint64_t envSeed();
+
+/**
+ * Effective seed for a component whose built-in stream is @p base.
+ *
+ * Identity when $A4_SEED is unset — runs without the knob are
+ * bit-identical to builds that predate it. With a seed, the pair
+ * (base, seed) is mixed splitmix64-style so every component still
+ * gets its own decorrelated stream and equal seeds reproduce equal
+ * runs. Every Rng constructed by a workload or device model must go
+ * through this helper; raw `Rng(cfg.seed)` would pin the stream and
+ * silently ignore the knob.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t base)
+{
+    const std::uint64_t s = envSeed();
+    if (s == 0)
+        return base;
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * s;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 } // namespace a4
 
 #endif // A4_SIM_RNG_HH

@@ -27,7 +27,7 @@ CpuStreamWorkload::CpuStreamWorkload(std::string name, WorkloadId id,
         // Stagger sequential lanes so cores stream disjoint phases of
         // the shared working set (threaded X-Mem behaviour).
         lanes[i].pos = (ws_lines / cores().size()) * i;
-        lanes[i].rng = Rng(cfg.seed + 0x1000 * (i + 1));
+        lanes[i].rng = Rng(mixSeed(cfg.seed + 0x1000 * (i + 1)));
         lanes[i].batch_ev.init(eng, [this, i] { runBatch(unsigned(i)); });
     }
 }

@@ -10,7 +10,7 @@ FioWorkload::FioWorkload(std::string name, WorkloadId id,
                          CacheSystem &cache_, AddressMap &addrs,
                          SsdArray &ssd_, const FioConfig &config)
     : Workload(std::move(name), id, std::move(cores_in)), eng(eng_),
-      cache(cache_), ssd(ssd_), cfg(config), rng(cfg.seed)
+      cache(cache_), ssd(ssd_), cfg(config), rng(mixSeed(cfg.seed))
 {
     if (cores().size() != cfg.num_jobs)
         fatal("FioWorkload: core count must equal num_jobs");
@@ -45,36 +45,40 @@ FioWorkload::start()
     active_ = true;
     for (unsigned j = 0; j < cfg.num_jobs; ++j) {
         for (unsigned b = 0; b < cfg.iodepth; ++b)
-            submitRead(j, b);
+            submitRead(eng.now(), j, b);
         schedulePump(j, cfg.idle_poll_ns);
     }
 }
 
 void
-FioWorkload::submitRead(unsigned job, unsigned buf)
+FioWorkload::submitRead(Tick now, unsigned job, unsigned buf)
 {
     if (!active_)
         return;
     Job &j = jobs[job];
-    j.buffers[buf].submit_time = eng.now();
-    ssd.submitRead(j.buffers[buf].base, cfg.block_bytes, id(),
-                   {j.core},
-                   [this, job, buf] { onReadComplete(job, buf); });
+    j.buffers[buf].submit_time = now;
+    ssd.submitRead(now, j.buffers[buf].base, cfg.block_bytes, id(),
+                   {j.core}, [this, job, buf](Tick done_at) {
+                       onReadComplete(done_at, job, buf);
+                   });
 }
 
 void
-FioWorkload::onReadComplete(unsigned job, unsigned buf)
+FioWorkload::onReadComplete(Tick done_at, unsigned job, unsigned buf)
 {
+    // Virtual time: done_at is the completion tick, which can be
+    // earlier than eng.now() when the completion is applied lazily by
+    // the observation barrier.
     Job &j = jobs[job];
-    j.buffers[buf].dma_done = eng.now();
-    read_lat.record(static_cast<double>(eng.now() -
+    j.buffers[buf].dma_done = done_at;
+    read_lat.record(static_cast<double>(done_at -
                                         j.buffers[buf].submit_time));
     if (cfg.consume) {
         j.completed.push_back(buf);
         if (!j.consuming)
             schedulePump(job, 1);
     } else {
-        finishBlock(job, buf);
+        finishBlock(done_at, job, buf);
     }
 }
 
@@ -98,6 +102,10 @@ FioWorkload::consumeNext(unsigned job)
     Job &j = jobs[job];
     if (j.consuming)
         return; // a continuation chain is already live
+    // Make lazily-delivered completions visible before the empty
+    // check (same contract as Nic::pop): a poll observes exactly the
+    // completed set a per-completion event schedule would have built.
+    cache.drainDeferred(eng.now());
     if (j.completed.empty()) {
         schedulePump(job, cfg.idle_poll_ns);
         return;
@@ -125,33 +133,39 @@ FioWorkload::consumeNext(unsigned job)
 void
 FioWorkload::onConsumeDone(unsigned job)
 {
+    // Apply lazily-pending completions before booking this block and
+    // resubmitting: a per-completion event schedule ran same-tick
+    // completions first (they were scheduled a flash-overhead
+    // earlier), and the relative order decides the SSD's link
+    // schedule for queued commands.
+    cache.drainDeferred(eng.now());
     Job &j = jobs[job];
     const unsigned buf = j.consume_buf;
     ops_.inc();
     bytes_.add(cfg.block_bytes);
     lat_.record(static_cast<double>(eng.now() -
                                     j.buffers[buf].submit_time));
-    finishBlock(job, buf);
+    finishBlock(eng.now(), job, buf);
     j.consuming = false;
     consumeNext(job);
 }
 
 void
-FioWorkload::finishBlock(unsigned job, unsigned buf)
+FioWorkload::finishBlock(Tick now, unsigned job, unsigned buf)
 {
     if (!active_)
         return;
     Job &j = jobs[job];
     if (cfg.write_mix > 0.0 && rng.chance(cfg.write_mix)) {
-        Tick t0 = eng.now();
-        ssd.submitWrite(j.buffers[buf].base, cfg.block_bytes, id(),
-                        {j.core}, [this, job, buf, t0] {
+        Tick t0 = now;
+        ssd.submitWrite(now, j.buffers[buf].base, cfg.block_bytes,
+                        id(), {j.core}, [this, job, buf, t0](Tick t) {
                             write_lat.record(
-                                static_cast<double>(eng.now() - t0));
-                            submitRead(job, buf);
+                                static_cast<double>(t - t0));
+                            submitRead(t, job, buf);
                         });
     } else {
-        submitRead(job, buf);
+        submitRead(now, job, buf);
     }
 }
 

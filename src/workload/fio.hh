@@ -10,6 +10,14 @@
  * (coreRead + regex cost) -> optional write-back (egress DMA read;
  * used by the FFSB configurations) -> resubmit.
  *
+ * Completion-timing contract: the SSD delivers completions lazily
+ * behind the cache observation barrier (see nvme.hh), so completion
+ * callbacks run in *virtual* time — they receive the completion tick
+ * and thread it through latency records and chained submissions
+ * instead of reading Engine::now(). The consume loop drains the
+ * barrier before checking for completed buffers, which is what makes
+ * lazy delivery tick-for-tick identical to per-completion events.
+ *
  * Each job owns `iodepth` block buffers, so `jobs * iodepth` commands
  * are outstanding — the "deep queues + large blocks" regime whose DMA
  * leak the paper dissects.
@@ -97,12 +105,12 @@ class FioWorkload : public Workload
         Engine::Recurring consume_done_ev; ///< scan-finished actor
     };
 
-    void submitRead(unsigned job, unsigned buf);
-    void onReadComplete(unsigned job, unsigned buf);
+    void submitRead(Tick now, unsigned job, unsigned buf);
+    void onReadComplete(Tick done_at, unsigned job, unsigned buf);
     void schedulePump(unsigned job, Tick delay);
     void consumeNext(unsigned job);
     void onConsumeDone(unsigned job);
-    void finishBlock(unsigned job, unsigned buf);
+    void finishBlock(Tick now, unsigned job, unsigned buf);
 
     Engine &eng;
     CacheSystem &cache;

@@ -91,8 +91,8 @@ RedisClient::RedisClient(std::string name, WorkloadId id, CoreId core,
                          const RedisConfig &config)
     : Workload(std::move(name), id, {core}), eng(eng_), cache(cache_),
       server(server_), cfg(config),
-      keys(config.num_keys, config.zipf_theta, config.seed),
-      rng(config.seed ^ 0xC11E57ull)
+      keys(config.num_keys, config.zipf_theta, mixSeed(config.seed)),
+      rng(mixSeed(config.seed ^ 0xC11E57ull))
 {
     // Request-marshalling buffers: a modest client-side working set.
     req_buf = addrs.alloc(256 * kKiB, this->name() + ".req");

@@ -44,20 +44,25 @@ struct Rig
         return *ssd;
     }
 
-    /** Closed-loop driver: @p outstanding buffers, resubmit on done. */
+    /** Closed-loop driver: @p outstanding buffers, resubmit on done
+     *  (in virtual time — the completion tick chains the next
+     *  submission, exactly as FioWorkload does). */
     double
     measureThroughput(SsdArray &dev, std::uint64_t block,
                       unsigned outstanding, Tick duration)
     {
-        std::function<void(Addr)> submit = [&](Addr buf) {
-            dev.submitRead(buf, block, 1, {0},
-                           [&, buf] { submit(buf); });
+        std::function<void(Tick, Addr)> submit = [&](Tick t, Addr buf) {
+            dev.submitRead(t, buf, block, 1, {0},
+                           [&, buf](Tick done) { submit(done, buf); });
         };
         for (unsigned i = 0; i < outstanding; ++i)
-            submit(0x1000000 + std::uint64_t(i) * 4 * kMiB);
+            submit(eng.now(), 0x1000000 + std::uint64_t(i) * 4 * kMiB);
         std::uint64_t prev = 0;
         pcie.port(port).ingress_bytes.delta(prev);
         eng.runFor(duration);
+        // Raw PCIe counters bypass the observation barrier: apply the
+        // lazily-pending completions before reading them.
+        cache.drainDeferred(eng.now());
         std::uint64_t bytes = pcie.port(port).ingress_bytes.delta(prev);
         return double(bytes) * 1e9 / double(duration);
     }
@@ -81,11 +86,18 @@ TEST(Nvme, CompletionDeliversBlockViaDma)
     SsdConfig cfg;
     SsdArray &dev = r.makeSsd(cfg);
     bool done = false;
-    dev.submitRead(0x100000, 128 * kKiB, 1, {0}, [&] { done = true; });
+    Tick done_at = 0;
+    dev.submitRead(r.eng.now(), 0x100000, 128 * kKiB, 1, {0},
+                   [&](Tick t) {
+                       done = true;
+                       done_at = t;
+                   });
     EXPECT_EQ(dev.inFlight(), 1u);
     r.eng.runFor(10 * kMsec);
+    EXPECT_EQ(dev.inFlight(), 0u); // drains pending completions
     EXPECT_TRUE(done);
-    EXPECT_EQ(dev.inFlight(), 0u);
+    EXPECT_GT(done_at, cfg.cmd_overhead);
+    EXPECT_LE(done_at, r.eng.now());
     EXPECT_EQ(r.pcie.port(r.port).ingress_bytes.value(), 128 * kKiB);
     EXPECT_EQ(dev.completedReads().value(), 1u);
 }
@@ -97,7 +109,8 @@ TEST(Nvme, ParallelismBoundsInFlight)
     cfg.parallelism = 4;
     SsdArray &dev = r.makeSsd(cfg);
     for (int i = 0; i < 16; ++i)
-        dev.submitRead(0x100000 + i * 0x10000, 4 * kKiB, 1, {0}, {});
+        dev.submitRead(r.eng.now(), 0x100000 + i * 0x10000, 4 * kKiB,
+                       1, {0}, {});
     EXPECT_EQ(dev.inFlight(), 4u);
     r.eng.runFor(50 * kMsec);
     EXPECT_EQ(dev.completedReads().value(), 16u);
@@ -166,11 +179,12 @@ TEST(Nvme, WritesUseEgressPath)
     SsdConfig cfg;
     SsdArray &dev = r.makeSsd(cfg);
     bool done = false;
-    dev.submitWrite(0x200000, 64 * kKiB, 1, {0}, [&] { done = true; });
+    dev.submitWrite(r.eng.now(), 0x200000, 64 * kKiB, 1, {0},
+                    [&](Tick) { done = true; });
     r.eng.runFor(10 * kMsec);
+    EXPECT_EQ(dev.completedWrites().value(), 1u); // drains
     EXPECT_TRUE(done);
     EXPECT_EQ(r.pcie.port(r.port).egress_bytes.value(), 64 * kKiB);
-    EXPECT_EQ(dev.completedWrites().value(), 1u);
 }
 
 TEST(Nvme, RejectsBadConfig)
