@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/figures.hh"
 #include "harness/scaling.hh"
 #include "harness/spec.hh"
 #include "harness/table.hh"
@@ -45,7 +46,8 @@ usage(int code)
         "scenario selection:\n"
         "  <name> ...       registered scenarios to run (default: all)\n"
         "  --file PATH      add a scenario parsed from PATH\n"
-        "  --list           list selected scenario names and exit\n"
+        "  --list           list selected scenarios (name, workload\n"
+        "                   kinds; same format as a4bench --list)\n"
         "\n"
         "spec overrides (applied to every selected scenario):\n"
         "  --scheme NAME    Default | Isolate | A4-a..A4-d\n"
@@ -198,6 +200,36 @@ main(int argc, char **argv)
                        stdout);
         }
         return 0;
+    }
+
+    // --list: the shared registry-listing format (one row per
+    // selected scenario, after --filter), same helper as a4bench.
+    {
+        const SweepOptions opt = SweepOptions::parse(
+            "a4sim", int(sweep_args.size()), sweep_args.data());
+        if (opt.list) {
+            const std::vector<RegistryLine> reg_rows =
+                scenarioListing();
+            std::vector<RegistryLine> rows;
+            for (const auto &[name, spec] : selected) {
+                if (!opt.filter.empty() &&
+                    name.find(opt.filter) == std::string::npos)
+                    continue;
+                bool registered = false;
+                for (const RegistryLine &r : reg_rows) {
+                    if (r.name == name) {
+                        rows.push_back(r);
+                        registered = true;
+                        break;
+                    }
+                }
+                if (!registered) // --file scenarios: kinds only
+                    rows.push_back({name, 1,
+                                    workloadKindSummary(spec)});
+            }
+            std::fputs(formatRegistryListing(rows).c_str(), stdout);
+            return 0;
+        }
     }
 
     Sweep sw("a4sim", int(sweep_args.size()), sweep_args.data());

@@ -2,137 +2,16 @@
  * @file
  * Ablation — can an LLC replacement policy do A4's job?
  *
- * The paper's related-work section positions RRIP-family policies as
- * the prior answer to DMA bloat. This ablation runs the Fig. 3b
- * contention points under LRU and SRRIP, plus A4 (on LRU), showing:
- *
- *  - SRRIP fails to mitigate any of the three contentions: its
- *    distant insertion penalises the victim workload's own reused
- *    lines as much as the one-shot I/O lines (bloat), write-allocates
- *    are insertions rather than re-references (latent), and the
- *    directory migrations are placement-forced regardless of policy;
- *  - A4 addresses all three by *placement*, not replacement.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench ablation_replacement` runs the identical
+ * sweep, and `a4bench --print ablation_replacement` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-staticPoint(LlcReplacement pol, unsigned lo, unsigned hi)
-{
-    ServerConfig cfg = ServerConfig::fast();
-    cfg.geometry.replacement = pol;
-    Testbed bed(cfg);
-
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
-    pinWays(bed, dpdk, 1, 5, 6);
-    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
-    pinWays(bed, xmem, 2, lo, hi);
-
-    Measurement m(bed, {&dpdk, &xmem});
-    m.run();
-    Record r;
-    r.set("mpa", m.sample(xmem).missesPerAccess());
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-Record
-a4Point()
-{
-    // A4 manages the same pair; the LPW is placed by the daemon.
-    Testbed bed(ServerConfig::fast());
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
-    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
-
-    A4Params prm;
-    prm.monitor_interval = 5 * kMsec;
-    prm.min_accesses = 500;
-    prm.min_dma_lines = 500;
-    A4Manager mgr(bed.engine(), bed.cache(), bed.cat(), bed.ddio(),
-                  bed.dram(), bed.pcie(), prm);
-    mgr.addWorkload(Testbed::describe(dpdk, QosPriority::High));
-    mgr.addWorkload(Testbed::describe(xmem, QosPriority::Low));
-    mgr.start();
-
-    Windows win =
-        Windows::fromEnv(Windows{150 * kMsec, 120 * kMsec});
-    Measurement m(bed, {&dpdk, &xmem}, win);
-    m.run();
-    Record r;
-    r.set("mpa", m.sample(xmem).missesPerAccess());
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-struct Row
-{
-    unsigned lo, hi;
-    const char *label;
-};
-
-const Row kRows[] = {{0, 1, "latent (DCA ways)"},
-                     {3, 4, "none (baseline)"},
-                     {5, 6, "DMA bloat (DPDK's ways)"},
-                     {9, 10, "directory (inclusive ways)"}};
-
-std::string
-pointName(LlcReplacement pol, const Row &row)
-{
-    return sformat("%s/x[%u:%u]",
-                   pol == LlcReplacement::Lru ? "lru" : "srrip",
-                   row.lo, row.hi);
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("ablation_replacement", argc, argv);
-    for (const Row &row : kRows) {
-        for (LlcReplacement pol :
-             {LlcReplacement::Lru, LlcReplacement::Srrip}) {
-            sw.add(pointName(pol, row), [pol, &row] {
-                return staticPoint(pol, row.lo, row.hi);
-            });
-        }
-    }
-    sw.add("a4", [] { return a4Point(); });
-    sw.run();
-
-    std::printf("=== Ablation: LLC replacement policy vs A4 "
-                "(X-Mem misses/access next to DPDK-T) ===\n");
-
-    Table t({"X-Mem placement", "contention", "LRU", "SRRIP"});
-    for (const Row &row : kRows) {
-        const Record *lru = sw.find(pointName(LlcReplacement::Lru, row));
-        const Record *srrip =
-            sw.find(pointName(LlcReplacement::Srrip, row));
-        if (!lru && !srrip)
-            continue;
-        t.addRow({sformat("way[%u:%u]", row.lo, row.hi), row.label,
-                  Table::num(lru, "mpa", 3),
-                  Table::num(srrip, "mpa", 3)});
-    }
-    t.print();
-
-    if (const Record *a4 = sw.find("a4")) {
-        std::printf("\nA4-managed placement (LRU hardware): "
-                    "misses/access = %.3f\n", a4->num("mpa"));
-        std::printf("A4 avoids all three contentions by placement; a "
-                    "replacement policy can only reshuffle the "
-                    "bloat.\n");
-    }
-    return sw.finish();
+    return a4::runFigureBench("ablation_replacement", argc, argv);
 }

@@ -1,124 +1,17 @@
 /**
  * @file
- * Fig. 3 — Contention between I/O-intensive DPDK and cache-sensitive
- * X-Mem allocated to LLC way[m:n].
+ * Fig. 3 — DPDK vs X-Mem contention study (a: DPDK-NT, b: DPDK-T).
  *
- * Reproduces both panels:
- *  (a) DPDK-NT (no touch) vs X-Mem: only the DCA-overlapping
- *      allocations ([0:1], [1:2]) hurt X-Mem (latent contention).
- *  (b) DPDK-T (touch) vs X-Mem: three distinct contention groups —
- *      DCA overlap (latent), way[5:6] overlap (DMA bloat), and the
- *      inclusive ways [8:9]/[9:10] (hidden directory contention).
- *
- * Series printed per row: memory read/write bandwidth (paper-
- * equivalent GB/s), X-Mem misses-per-access, DPDK LLC miss rate.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig03_contention` runs the identical
+ * sweep, and `a4bench --print fig03_contention` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/experiment.hh"
-#include "harness/scaling.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-#include "harness/testbed.hh"
-#include "workload/dpdk.hh"
-#include "workload/xmem.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runPoint(bool touch, unsigned lo, unsigned hi)
-{
-    ServerConfig cfg = ServerConfig::fast();
-    Testbed bed(cfg);
-    const unsigned scale = cfg.scale;
-
-    NicConfig nic_cfg; // 100 Gbps, 4 queues, 2048-entry rings, 1 KiB
-    Nic &nic = bed.addNic(nic_cfg);
-
-    auto dpdk = std::make_unique<DpdkWorkload>(
-        touch ? "dpdk-t" : "dpdk-nt", bed.allocWorkloadId(),
-        bed.allocCores(4), bed.engine(), bed.cache(), nic,
-        scaledDpdkConfig(scale, touch));
-    DpdkWorkload &dpdk_ref = bed.adopt(std::move(dpdk));
-
-    CpuStreamConfig xc = scaledCpuStream(xmemConfig(1), scale);
-    auto xmem = std::make_unique<CpuStreamWorkload>(
-        "xmem", bed.allocWorkloadId(), bed.allocCores(2), bed.engine(),
-        bed.cache(), bed.addrs(), xc);
-    CpuStreamWorkload &xmem_ref = bed.adopt(std::move(xmem));
-
-    // Static allocation as in §3.1: DPDK at way[5:6], X-Mem swept.
-    bed.cat().setClosMask(1, CatController::makeMask(5, 6));
-    for (CoreId c : dpdk_ref.cores())
-        bed.cat().assignCore(c, 1);
-    bed.cat().setClosMask(2, CatController::makeMask(lo, hi));
-    for (CoreId c : xmem_ref.cores())
-        bed.cat().assignCore(c, 2);
-
-    Measurement m(bed, {&dpdk_ref, &xmem_ref});
-    m.run();
-
-    WorkloadSample ds = m.sample(dpdk_ref);
-    WorkloadSample xs = m.sample(xmem_ref);
-    SystemSample sys = m.system();
-
-    Record r;
-    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
-    r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
-    r.set("xmem_mpa", xs.missesPerAccess());
-    r.set("dpdk_miss", ds.llcMissRate());
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-std::string
-pointName(bool touch, unsigned lo)
-{
-    return sformat("%s/x[%u:%u]", touch ? "b" : "a", lo, lo + 1);
-}
-
-void
-emitPanel(const Sweep &sw, bool touch)
-{
-    std::printf("\n=== Fig. 3%s: %s vs X-Mem (DPDK at way[5:6]) ===\n",
-                touch ? "b" : "a", touch ? "DPDK-T" : "DPDK-NT");
-    Table t({"X-Mem ways", "mask", "MemRd GB/s", "MemWr GB/s",
-             "X-Mem miss/acc", "DPDK LLC miss"});
-    CatController cat(11, 18);
-    for (unsigned lo = 0; lo + 1 < 11; ++lo) {
-        const Record *r = sw.find(pointName(touch, lo));
-        if (!r)
-            continue;
-        t.addRow({sformat("[%u:%u]", lo, lo + 1),
-                  cat.paperHex(CatController::makeMask(lo, lo + 1)),
-                  Table::num(r->num("mem_rd_gbps")),
-                  Table::num(r->num("mem_wr_gbps")),
-                  Table::num(r->num("xmem_mpa"), 3),
-                  Table::num(r->num("dpdk_miss"), 3)});
-    }
-    t.print();
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("fig03_contention", argc, argv);
-    for (bool touch : {false, true}) {
-        for (unsigned lo = 0; lo + 1 < 11; ++lo) {
-            sw.add(pointName(touch, lo),
-                   [touch, lo] { return runPoint(touch, lo, lo + 1); });
-        }
-    }
-    sw.run();
-
-    emitPanel(sw, false); // Fig. 3a
-    emitPanel(sw, true);  // Fig. 3b
-    return sw.finish();
+    return a4::runFigureBench("fig03_contention", argc, argv);
 }

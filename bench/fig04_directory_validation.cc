@@ -1,112 +1,17 @@
 /**
  * @file
- * Fig. 4 — Validating the directory contention with DCA on/off.
+ * Fig. 4 — directory-contention validation with DCA on/off.
  *
- * DPDK-T co-runs with X-Mem; X-Mem is allocated to way[9:10] (the
- * inclusive ways), way[0:1] (DCA), way[3:4] (standard), and way[5:6]
- * (DPDK-T's ways), under DCA enabled and disabled (the global BIOS
- * knob). Expected shape: with DCA on, X-Mem at the inclusive ways
- * suffers (migrated I/O lines evict it); with DCA off the inclusive-
- * way contention disappears but DPDK-T's tail latency rises sharply.
- * An X-Mem solo row is printed as the reference.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig04_directory_validation` runs the identical
+ * sweep, and `a4bench --print fig04_directory_validation` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runPoint(bool with_dpdk, bool dca_on, unsigned lo, unsigned hi)
-{
-    Testbed bed;
-    bed.ddio().setBiosDca(dca_on);
-
-    DpdkWorkload *dpdk = nullptr;
-    if (with_dpdk) {
-        // This experiment's DPDK-T runs at the paper's Fig. 4
-        // operating point (DCA-on p99 in the low hundreds of us,
-        // i.e. below saturation) so the DCA-off saturation stands
-        // out; the Fig. 6 sweep uses the edge-of-saturation point.
-        NicConfig nic_cfg;
-        Nic &nic = bed.addNic(nic_cfg);
-        DpdkConfig cfg = scaledDpdkConfig(bed.config().scale, true);
-        cfg.per_packet_cpu_ns = 220.0 * bed.config().scale;
-        auto w = std::make_unique<DpdkWorkload>(
-            "dpdk-t", bed.allocWorkloadId(), bed.allocCores(4),
-            bed.engine(), bed.cache(), nic, cfg);
-        dpdk = &bed.adopt(std::move(w));
-        pinWays(bed, *dpdk, 1, 5, 6);
-    }
-    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
-    pinWays(bed, xmem, 2, lo, hi);
-
-    std::vector<Workload *> tracked{&xmem};
-    if (dpdk)
-        tracked.push_back(dpdk);
-    Measurement m(bed, tracked);
-    m.run();
-
-    Record r;
-    r.set("xmem_mpa", m.sample(xmem).missesPerAccess());
-    r.set("dpdk_tail_us",
-          dpdk ? dpdk->latency().percentile(99) / 1000.0 : 0.0);
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-std::string
-pointName(bool dca, unsigned lo, unsigned hi)
-{
-    return sformat("%s/x[%u:%u]", dca ? "dca-on" : "dca-off", lo, hi);
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("fig04_directory_validation", argc, argv);
-
-    const unsigned sweeps[][2] = {{0, 1}, {3, 4}, {5, 6}, {9, 10}};
-    sw.add("solo/x[9:10]", [] { return runPoint(false, true, 9, 10); });
-    for (bool dca : {true, false}) {
-        for (auto &ways : sweeps) {
-            const unsigned lo = ways[0], hi = ways[1];
-            sw.add(pointName(dca, lo, hi),
-                   [dca, lo, hi] { return runPoint(true, dca, lo, hi); });
-        }
-    }
-    sw.run();
-
-    std::printf("=== Fig. 4: directory-contention validation ===\n");
-    Table t({"config", "X-Mem ways", "DPDK-T p99 (us)",
-             "X-Mem miss/acc"});
-
-    if (const Record *solo = sw.find("solo/x[9:10]")) {
-        t.addRow({"X-Mem solo", "[9:10]", "-",
-                  Table::num(solo->num("xmem_mpa"), 3)});
-    }
-    for (bool dca : {true, false}) {
-        for (auto &ways : sweeps) {
-            const Record *p =
-                sw.find(pointName(dca, ways[0], ways[1]));
-            if (!p)
-                continue;
-            t.addRow({dca ? "DCA on" : "DCA off",
-                      sformat("[%u:%u]", ways[0], ways[1]),
-                      Table::num(p->num("dpdk_tail_us"), 1),
-                      Table::num(p->num("xmem_mpa"), 3)});
-        }
-    }
-    t.print();
-    return sw.finish();
+    return a4::runFigureBench("fig04_directory_validation", argc, argv);
 }

@@ -1,103 +1,17 @@
 /**
  * @file
- * Fig. 5 — Impact of storage block size and DCA on storage-I/O
- * throughput, memory bandwidth, and DMA leak.
+ * Fig. 5 — storage block size and DCA vs throughput, bandwidth, leak.
  *
- * FIO (4 libaio jobs, iodepth 32, O_DIRECT random reads + regex
- * consumption) runs solo at way[2:3], sweeping the block size from
- * 4 KiB to 2 MiB with DCA on and off.
- *
- * Expected shape (the paper's two storage characteristics): device
- * throughput is essentially DCA-independent and saturates beyond
- * ~128 KiB; with DCA on, memory read bandwidth remains substantial at
- * large blocks because lines leak from the DCA ways before they are
- * consumed.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig05_storage_dca` runs the identical
+ * sweep, and `a4bench --print fig05_storage_dca` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runPoint(std::uint64_t block, bool dca_on)
-{
-    Testbed bed;
-    bed.ddio().setBiosDca(dca_on);
-
-    FioWorkload &fio = addFio(bed, "fio", block);
-    pinWays(bed, fio, 1, 2, 3);
-
-    Measurement m(bed, {&fio});
-    m.run();
-
-    WorkloadSample s = m.sample(fio);
-    SystemSample sys = m.system();
-    const unsigned scale = bed.config().scale;
-
-    Record r;
-    r.set("storage_gbps",
-          unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) *
-                        1e9 / double(m.windows().measure),
-                    scale) /
-              1e9);
-    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
-    r.set("leak_rate", s.dcaMissRate());
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-std::string
-pointName(std::uint64_t kb, bool dca_on)
-{
-    return sformat("block=%lluKB/%s", (unsigned long long)kb,
-                   dca_on ? "dca-on" : "dca-off");
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
-                                       128, 256, 512, 1024, 2048};
-
-    Sweep sw("fig05_storage_dca", argc, argv);
-    for (std::uint64_t kb : blocks_kb) {
-        for (bool dca : {true, false}) {
-            sw.add(pointName(kb, dca),
-                   [kb, dca] { return runPoint(kb * kKiB, dca); });
-        }
-    }
-    sw.run();
-
-    std::printf("=== Fig. 5: storage block size & DCA vs throughput/"
-                "memory bandwidth ===\n");
-    Table t({"block", "[DCA on] Storage GB/s", "[DCA on] MemRd GB/s",
-             "[DCA on] leak", "[DCA off] Storage GB/s",
-             "[DCA off] MemRd GB/s"});
-
-    for (std::uint64_t kb : blocks_kb) {
-        const Record *on = sw.find(pointName(kb, true));
-        const Record *off = sw.find(pointName(kb, false));
-        if (!on && !off)
-            continue;
-        t.addRow({sformat("%lluKB", (unsigned long long)kb),
-                  Table::num(on, "storage_gbps"),
-                  Table::num(on, "mem_rd_gbps"),
-                  on ? Table::pct(on->num("leak_rate"))
-                     : std::string("-"),
-                  Table::num(off, "storage_gbps"),
-                  Table::num(off, "mem_rd_gbps")});
-    }
-    t.print();
-    return sw.finish();
+    return a4::runFigureBench("fig05_storage_dca", argc, argv);
 }

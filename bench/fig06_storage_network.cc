@@ -1,130 +1,17 @@
 /**
  * @file
- * Fig. 6 — Impact of FIO on DPDK-T latency (the storage-driven DCA
- * contention, C2).
+ * Fig. 6 — impact of FIO on DPDK-T latency (C2).
  *
- * (a) DPDK-T (way[4:5]) co-runs with FIO (way[2:3]) while the storage
- *     block size sweeps 4 KiB – 2 MiB, with DCA globally on or off.
- *     Expected: with DCA on, network latency inflates with block
- *     size (leakage from DCA+inclusive ways), peaking around where
- *     storage throughput saturates; storage throughput itself is
- *     DCA-insensitive.
- * (b) DPDK-T solo: DCA off inflates latency unacceptably — the
- *     reason a global disable is not an answer.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig06_storage_network` runs the identical
+ * sweep, and `a4bench --print fig06_storage_network` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runPoint(std::uint64_t block, bool dca_on, bool with_fio)
-{
-    Testbed bed;
-    bed.ddio().setBiosDca(dca_on);
-
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
-    pinWays(bed, dpdk, 1, 4, 5);
-
-    FioWorkload *fio = nullptr;
-    if (with_fio) {
-        fio = &addFio(bed, "fio", block);
-        pinWays(bed, *fio, 2, 2, 3);
-    }
-
-    std::vector<Workload *> tracked{&dpdk};
-    if (fio)
-        tracked.push_back(fio);
-    Measurement m(bed, tracked);
-    m.run();
-
-    SystemSample sys = m.system();
-    Record r;
-    r.set("net_avg_us", dpdk.latency().mean() / 1000.0);
-    r.set("net_p99_us", dpdk.latency().percentile(99) / 1000.0);
-    r.set("storage_gbps",
-          fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
-                              1e9 / double(m.windows().measure),
-                          bed.config().scale) /
-                    1e9
-              : 0.0);
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-std::string
-pointName(std::uint64_t kb, bool dca_on)
-{
-    return sformat("a/block=%lluKB/%s", (unsigned long long)kb,
-                   dca_on ? "dca-on" : "dca-off");
-}
-
-std::string
-soloName(bool dca_on)
-{
-    return sformat("b/solo/%s", dca_on ? "dca-on" : "dca-off");
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
-                                       128, 256, 512, 1024, 2048};
-
-    Sweep sw("fig06_storage_network", argc, argv);
-    for (std::uint64_t kb : blocks_kb) {
-        for (bool dca : {true, false}) {
-            sw.add(pointName(kb, dca),
-                   [kb, dca] { return runPoint(kb * kKiB, dca, true); });
-        }
-    }
-    for (bool dca : {true, false}) {
-        sw.add(soloName(dca),
-               [dca] { return runPoint(0, dca, false); });
-    }
-    sw.run();
-
-    std::printf("=== Fig. 6a: DPDK-T + FIO, storage block sweep ===\n");
-    Table t({"block", "[on] Net AL us", "[on] Net TL us",
-             "[on] Storage GB/s", "[off] Net AL us", "[off] Net TL us",
-             "[off] Storage GB/s"});
-    for (std::uint64_t kb : blocks_kb) {
-        const Record *on = sw.find(pointName(kb, true));
-        const Record *off = sw.find(pointName(kb, false));
-        if (!on && !off)
-            continue;
-        t.addRow({sformat("%lluKB", (unsigned long long)kb),
-                  Table::num(on, "net_avg_us", 1),
-                  Table::num(on, "net_p99_us", 1),
-                  Table::num(on, "storage_gbps", 2),
-                  Table::num(off, "net_avg_us", 1),
-                  Table::num(off, "net_p99_us", 1),
-                  Table::num(off, "storage_gbps", 2)});
-    }
-    t.print();
-
-    std::printf("\n=== Fig. 6b: DPDK-T solo ===\n");
-    Table t2({"config", "Net AL us", "Net TL us"});
-    for (bool dca : {true, false}) {
-        const Record *p =
-            sw.find(soloName(dca));
-        if (!p)
-            continue;
-        t2.addRow({dca ? "DCA on" : "DCA off",
-                   Table::num(p->num("net_avg_us"), 1),
-                   Table::num(p->num("net_p99_us"), 1)});
-    }
-    t2.print();
-    return sw.finish();
+    return a4::runFigureBench("fig06_storage_network", argc, argv);
 }

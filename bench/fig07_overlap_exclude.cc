@@ -1,100 +1,17 @@
 /**
  * @file
- * Fig. 7 — Impact of the LLC allocation strategy on DPDK-T latency:
- * n-Exclude vs n-Overlap.
+ * Fig. 7 — n-Exclude vs n-Overlap LLC allocation for DPDK-T.
  *
- * DPDK-T is explicitly allocated n ways that either Exclude the two
- * inclusive ways (nE ends at way 8) or Overlap them (nO ends at way
- * 10). Both effectively use the same number of ways, because with
- * nE the migrated I/O lines still occupy the inclusive ways — but
- * (n+2)-Overlap should show lower latency and less memory bandwidth
- * than n-Exclude (O3): a larger share of consumed lines is
- * write-updated in place within the inclusive ways.
- *
- * Strategies printed in the paper's order: 2O 2E 4O 4E 6O 6E 8O.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig07_overlap_exclude` runs the identical
+ * sweep, and `a4bench --print fig07_overlap_exclude` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runPoint(unsigned n_ways, bool overlap)
-{
-    Testbed bed;
-    const unsigned last = overlap ? 10 : 8;
-    const unsigned lo = last - n_ways + 1;
-
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
-    pinWays(bed, dpdk, 1, lo, last);
-
-    // A cache-busy neighbour keeps the non-allocated ways occupied,
-    // as in the motivation setup (otherwise unallocated ways hide the
-    // conflict misses this figure is about).
-    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
-    pinWays(bed, xmem, 2, 2, 8);
-
-    Measurement m(bed, {&dpdk, &xmem});
-    m.run();
-
-    SystemSample sys = m.system();
-    const unsigned scale = bed.config().scale;
-    Record r;
-    r.set("avg_us", dpdk.latency().mean() / 1000.0);
-    r.set("p99_us", dpdk.latency().percentile(99) / 1000.0);
-    r.set("mem_rd_gbps", unscaleBw(sys.memReadBwBps(), scale) / 1e9);
-    r.set("mem_wr_gbps", unscaleBw(sys.memWriteBwBps(), scale) / 1e9);
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-struct Cfg
-{
-    unsigned n;
-    bool overlap;
-    const char *label;
-};
-
-const Cfg kCfgs[] = {{2, true, "2O"},  {2, false, "2E"},
-                     {4, true, "4O"},  {4, false, "4E"},
-                     {6, true, "6O"},  {6, false, "6E"},
-                     {8, true, "8O"}};
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("fig07_overlap_exclude", argc, argv);
-    for (const Cfg &c : kCfgs) {
-        sw.add(c.label, [&c] { return runPoint(c.n, c.overlap); });
-    }
-    sw.run();
-
-    std::printf("=== Fig. 7: n-Overlap vs n-Exclude allocation for "
-                "DPDK-T ===\n");
-    Table t({"strategy", "ways", "Net AL us", "Net TL us",
-             "MemRd GB/s", "MemWr GB/s"});
-    for (const Cfg &c : kCfgs) {
-        const Record *p = sw.find(c.label);
-        if (!p)
-            continue;
-        unsigned last = c.overlap ? 10 : 8;
-        t.addRow({c.label, sformat("[%u:%u]", last - c.n + 1, last),
-                  Table::num(p->num("avg_us"), 1),
-                  Table::num(p->num("p99_us"), 1),
-                  Table::num(p->num("mem_rd_gbps")),
-                  Table::num(p->num("mem_wr_gbps"))});
-    }
-    t.print();
-    return sw.finish();
+    return a4::runFigureBench("fig07_overlap_exclude", argc, argv);
 }

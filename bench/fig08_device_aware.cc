@@ -2,162 +2,16 @@
  * @file
  * Fig. 8 — I/O-device-aware DCA disabling and LLC allocation.
  *
- * (a) DPDK-T (way[4:5]) + FIO (way[2:3]) with the *per-port* DDIO
- *     knob: SSD-DCA off vs all-DCA on, block sizes 16–512 KiB.
- *     Expected: SSD-DCA off restores near-solo network latency with
- *     uncompromised storage throughput.
- * (b) FIO + X-Mem (way[2:5]) with SSD-DCA off, shrinking FIO's ways
- *     from [2:5] to [2:2]: X-Mem's miss rate falls while FIO
- *     throughput stays flat (trash-way rationale, O5).
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig08_device_aware` runs the identical
+ * sweep, and `a4bench --print fig08_device_aware` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/builders.hh"
-#include "harness/experiment.hh"
-#include "harness/sweep.hh"
-#include "harness/table.hh"
-
-using namespace a4;
-
-namespace
-{
-
-Record
-runA(std::uint64_t block, bool ssd_dca_off)
-{
-    Testbed bed;
-
-    DpdkWorkload &dpdk = addDpdk(bed, "dpdk-t", true);
-    pinWays(bed, dpdk, 1, 4, 5);
-
-    FioWorkload &fio = addFio(bed, "fio", block);
-    pinWays(bed, fio, 2, 2, 3);
-    if (ssd_dca_off)
-        bed.ddio().disableDcaForPort(fio.ioPort());
-
-    Measurement m(bed, {&dpdk, &fio});
-    m.run();
-
-    SystemSample sys = m.system();
-    Record r;
-    r.set("net_avg_us", dpdk.latency().mean() / 1000.0);
-    r.set("net_p99_us", dpdk.latency().percentile(99) / 1000.0);
-    r.set("storage_gbps",
-          unscaleBw(double(sys.ports[fio.ioPort()].ingress_bytes) *
-                        1e9 / double(m.windows().measure),
-                    bed.config().scale) /
-              1e9);
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-Record
-runB(unsigned fio_hi, bool with_fio)
-{
-    Testbed bed;
-
-    CpuStreamWorkload &xmem = addXmem(bed, "xmem", 1, 2);
-    pinWays(bed, xmem, 1, 2, 5);
-
-    FioWorkload *fio = nullptr;
-    if (with_fio) {
-        fio = &addFio(bed, "fio", 2 * kMiB);
-        pinWays(bed, *fio, 2, 2, fio_hi);
-        bed.ddio().disableDcaForPort(fio->ioPort());
-    }
-
-    std::vector<Workload *> tracked{&xmem};
-    if (fio)
-        tracked.push_back(fio);
-    Measurement m(bed, tracked);
-    m.run();
-
-    SystemSample sys = m.system();
-    Record r;
-    r.set("xmem_mpa", m.sample(xmem).missesPerAccess());
-    r.set("storage_gbps",
-          fio ? unscaleBw(double(sys.ports[fio->ioPort()].ingress_bytes) *
-                              1e9 / double(m.windows().measure),
-                          bed.config().scale) /
-                    1e9
-              : 0.0);
-    recordEngineDiag(r, bed.engine());
-    return r;
-}
-
-std::string
-pointA(std::uint64_t kb, bool ssd_off)
-{
-    return sformat("a/block=%lluKB/%s", (unsigned long long)kb,
-                   ssd_off ? "ssd-off" : "dca-on");
-}
-
-std::string
-fioName(unsigned hi)
-{
-    return sformat("b/fio[2:%u]", hi);
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::uint64_t blocks_kb[] = {16, 32, 64, 128, 256, 512};
-    const unsigned fio_his[] = {5, 4, 3, 2};
-
-    Sweep sw("fig08_device_aware", argc, argv);
-    for (std::uint64_t kb : blocks_kb) {
-        for (bool ssd_off : {false, true}) {
-            sw.add(pointA(kb, ssd_off), [kb, ssd_off] {
-                return runA(kb * kKiB, ssd_off);
-            });
-        }
-    }
-    sw.add("b/solo", [] { return runB(0, false); });
-    for (unsigned hi : fio_his) {
-        sw.add(fioName(hi),
-               [hi] { return runB(hi, true); });
-    }
-    sw.run();
-
-    std::printf("=== Fig. 8a: per-port SSD-DCA disable "
-                "(DPDK-T + FIO) ===\n");
-    Table ta({"block", "[DCA on] Net AL us", "[DCA on] Net TL us",
-              "[DCA on] Storage GB/s", "[SSD off] Net AL us",
-              "[SSD off] Net TL us", "[SSD off] Storage GB/s"});
-    for (std::uint64_t kb : blocks_kb) {
-        const Record *on = sw.find(pointA(kb, false));
-        const Record *off = sw.find(pointA(kb, true));
-        if (!on && !off)
-            continue;
-        ta.addRow({sformat("%lluKB", (unsigned long long)kb),
-                   Table::num(on, "net_avg_us", 1),
-                   Table::num(on, "net_p99_us", 1),
-                   Table::num(on, "storage_gbps", 2),
-                   Table::num(off, "net_avg_us", 1),
-                   Table::num(off, "net_p99_us", 1),
-                   Table::num(off, "storage_gbps", 2)});
-    }
-    ta.print();
-
-    std::printf("\n=== Fig. 8b: shrinking FIO's ways under SSD-DCA "
-                "off (X-Mem at way[2:5]) ===\n");
-    Table tb({"FIO ways", "X-Mem miss/acc", "Storage GB/s"});
-    if (const Record *solo = sw.find("b/solo")) {
-        tb.addRow({"X-Mem solo", Table::num(solo->num("xmem_mpa"), 3),
-                   "-"});
-    }
-    for (unsigned hi : fio_his) {
-        const Record *p = sw.find(fioName(hi));
-        if (!p)
-            continue;
-        tb.addRow({sformat("[2:%u]", hi),
-                   Table::num(p->num("xmem_mpa"), 3),
-                   Table::num(p->num("storage_gbps"))});
-    }
-    tb.print();
-    return sw.finish();
+    return a4::runFigureBench("fig08_device_aware", argc, argv);
 }

@@ -1,83 +1,17 @@
 /**
  * @file
- * Fig. 11 — IPC and LLC hit rates of the three X-Mem variants with
- * varying network packet sizes (storage block 2 MiB).
+ * Fig. 11 — X-Mem IPC and LLC hit rates vs network packet size.
  *
- * Co-run: DPDK-T (HPW) + FIO (LPW) + X-Mem 1 (HPW) / 2 (LPW) /
- * 3 (LPW), under Default / Isolate / A4. IPC is normalised to the
- * Default model at the smallest packet size, per the paper.
- *
- * Expected shape: Default degrades with packet size (DMA bloat);
- * Isolate is flatter but lower for the cache-sensitive X-Mem 1; A4
- * keeps X-Mem 1 at high hit rates across all packet sizes while
- * X-Mem 3 is detected as an antagonist.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig11_xmem_packet_sweep` runs the identical
+ * sweep, and `a4bench --print fig11_xmem_packet_sweep` dumps it as editable spec text.
  */
 
-#include <cstdio>
-#include <optional>
-
-#include "harness/scenarios.hh"
-#include "harness/table.hh"
-#include "sim/log.hh"
-
-using namespace a4;
-
-namespace
-{
-
-std::string
-pointName(Scheme s, unsigned packet)
-{
-    return sformat("%s/p%uB", schemeName(s), packet);
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const unsigned packets[] = {64, 128, 256, 512, 1024, 1514};
-    const std::span<const Scheme> schemes = microSchemes();
-
-    Sweep sw("fig11_xmem_packet_sweep", argc, argv);
-    for (Scheme s : schemes) {
-        for (unsigned p : packets) {
-            sw.add(pointName(s, p), [s, p] {
-                return toRecord(runMicroScenario(s, p, 2 * kMiB));
-            });
-        }
-    }
-    sw.run();
-
-    // Normalisation reference: Default at 64 B.
-    const Record *ref_rec = sw.find(pointName(Scheme::Default, 64));
-    std::optional<MicroResult> ref;
-    if (ref_rec)
-        ref = microResultFrom(*ref_rec);
-
-    std::printf("=== Fig. 11: X-Mem IPC / LLC hit rate vs packet size "
-                "(storage block 2MB) ===\n");
-    Table t({"scheme", "packet", "X1 relIPC", "X1 hit", "X2 relIPC",
-             "X2 hit", "X3 relIPC", "X3 hit"});
-    for (Scheme s : schemes) {
-        for (unsigned p : packets) {
-            const Record *rec = sw.find(pointName(s, p));
-            if (!rec)
-                continue;
-            MicroResult r = microResultFrom(*rec);
-            std::vector<std::string> cells{schemeName(s),
-                                           sformat("%uB", p)};
-            for (unsigned v = 0; v < 3; ++v) {
-                cells.push_back(
-                    ref ? Table::num(
-                              ratio(r.xmem_ipc[v], ref->xmem_ipc[v]))
-                        : std::string("-"));
-                cells.push_back(Table::pct(r.xmem_hit[v]));
-            }
-            t.addRow(std::move(cells));
-        }
-    }
-    t.print();
-    return sw.finish();
+    return a4::runFigureBench("fig11_xmem_packet_sweep", argc, argv);
 }

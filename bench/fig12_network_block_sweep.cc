@@ -1,71 +1,17 @@
 /**
  * @file
- * Fig. 12 — Network performance with varying storage block sizes
- * (packet size 1514 B).
+ * Fig. 12 — network performance vs storage block size.
  *
- * Same co-run as Fig. 11, sweeping FIO's block size from 4 KiB to
- * 2 MiB under Default / Isolate / A4. Reports the network tail
- * latency and network read (ingress) throughput.
- *
- * Expected shape: Default and Isolate degrade as blocks grow
- * (storage-driven DCA contention), Isolate more so; A4 holds both
- * metrics once FIO trips the DMA-leak detector (it lets performance
- * degrade gradually below that detection region, per the paper).
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig12_network_block_sweep` runs the identical
+ * sweep, and `a4bench --print fig12_network_block_sweep` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/scenarios.hh"
-#include "harness/table.hh"
-#include "sim/log.hh"
-
-using namespace a4;
-
-namespace
-{
-
-std::string
-pointName(Scheme s, std::uint64_t kb)
-{
-    return sformat("%s/block=%lluKB", schemeName(s),
-                   (unsigned long long)kb);
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::uint64_t blocks_kb[] = {4,   8,   16,  32,   64,
-                                       128, 256, 512, 1024, 2048};
-    const std::span<const Scheme> schemes = microSchemes();
-
-    Sweep sw("fig12_network_block_sweep", argc, argv);
-    for (Scheme s : schemes) {
-        for (std::uint64_t kb : blocks_kb) {
-            sw.add(pointName(s, kb), [s, kb] {
-                return toRecord(runMicroScenario(s, 1514, kb * kKiB));
-            });
-        }
-    }
-    sw.run();
-
-    std::printf("=== Fig. 12: network tail latency / read throughput "
-                "vs storage block (packet 1514B) ===\n");
-    Table t({"scheme", "block", "Net TL (us)", "Net Rd (GB/s)"});
-    for (Scheme s : schemes) {
-        for (std::uint64_t kb : blocks_kb) {
-            const Record *rec = sw.find(pointName(s, kb));
-            if (!rec)
-                continue;
-            MicroResult r = microResultFrom(*rec);
-            t.addRow({schemeName(s),
-                      sformat("%lluKB", (unsigned long long)kb),
-                      Table::num(r.net_tail_us, 1),
-                      Table::num(r.net_rd_gbps)});
-        }
-    }
-    t.print();
-    return sw.finish();
+    return a4::runFigureBench("fig12_network_block_sweep", argc, argv);
 }

@@ -1,126 +1,17 @@
 /**
  * @file
- * Fig. 13 — Real-world workload evaluation (Table 2 mixes).
+ * Fig. 13 — real-world workload evaluation (Table 2 mixes).
  *
- * (a) HPW-heavy: 7 HPWs (Fastclick, Redis-S/C, x264, parest,
- *     xalancbmk, lbm) + 4 LPWs (FFSB-H, omnetpp, exchange2, bwaves).
- * (b) LPW-heavy: 4 HPWs (Fastclick, FFSB-L, mcf, blender) + 8 LPWs.
- *
- * Each mix runs under Default, Isolate, and A4-a..d; per-workload
- * performance (throughput for multi-threaded I/O workloads, IPC for
- * single-threaded ones) is printed relative to the Default model,
- * plus the A4-d LLC hit rate. Asterisks mark workloads the A4 run
- * flagged for pseudo LLC bypassing / DDIO disable.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig13_realworld` runs the identical
+ * sweep, and `a4bench --print fig13_realworld` dumps it as editable spec text.
  */
 
-#include <cstdio>
-#include <map>
-#include <optional>
-
-#include "harness/scenarios.hh"
-#include "harness/table.hh"
-#include "sim/log.hh"
-
-using namespace a4;
-
-namespace
-{
-
-std::string
-pointName(bool hpw_heavy, Scheme s)
-{
-    return sformat("%s/%s", hpw_heavy ? "hpw-heavy" : "lpw-heavy",
-                   schemeName(s));
-}
-
-void
-emitScenario(const Sweep &sw, bool hpw_heavy)
-{
-    std::map<Scheme, std::optional<ScenarioResult>> results;
-    for (Scheme s : allSchemes()) {
-        if (const Record *rec = sw.find(pointName(hpw_heavy, s)))
-            results[s] = scenarioResultFrom(*rec);
-    }
-    if (!results[Scheme::Default]) {
-        // Every column below is relative to the Default run; without
-        // it the table is unprintable — but say so when other points
-        // did run, instead of silently dropping their results.
-        for (const auto &[s, r] : results) {
-            if (r) {
-                std::printf("\n=== Fig. 13%s: skipped — --filter "
-                            "dropped the Default baseline; rerun "
-                            "without --filter or read --json ===\n",
-                            hpw_heavy ? "a" : "b");
-                break;
-            }
-        }
-        return;
-    }
-
-    const ScenarioResult &base = *results[Scheme::Default];
-    const WorkloadResult *none = nullptr;
-
-    std::printf("\n=== Fig. 13%s: %s scenario ===\n",
-                hpw_heavy ? "a" : "b",
-                hpw_heavy ? "HPW-heavy (7 HPWs + 4 LPWs)"
-                          : "LPW-heavy (4 HPWs + 8 LPWs)");
-    Table t({"workload", "QoS", "Isolate", "A4-a", "A4-b", "A4-c",
-             "A4-d", "A4-d hit"});
-    for (const auto &w : base.workloads) {
-        auto rel = [&](Scheme s) {
-            if (!results[s])
-                return std::string("-");
-            const WorkloadResult *r = results[s]->find(w.name);
-            return Table::num(ratio(r ? r->perf : 0.0, w.perf));
-        };
-        const WorkloadResult *d =
-            results[Scheme::A4d] ? results[Scheme::A4d]->find(w.name)
-                                 : none;
-        std::string name = w.name + (d && d->antagonist ? "*" : "");
-        t.addRow({name, w.hpw ? "HP" : "LP", rel(Scheme::Isolate),
-                  rel(Scheme::A4a), rel(Scheme::A4b),
-                  rel(Scheme::A4c), rel(Scheme::A4d),
-                  d ? Table::pct(d->llc_hit_rate) : "-"});
-    }
-    t.print();
-
-    Table avg({"aggregate", "Isolate", "A4-a", "A4-b", "A4-c", "A4-d"});
-    auto row = [&](const char *label, std::optional<bool> filter) {
-        std::vector<std::string> cells{label};
-        for (Scheme s :
-             {Scheme::Isolate, Scheme::A4a, Scheme::A4b, Scheme::A4c,
-              Scheme::A4d}) {
-            cells.push_back(
-                results[s]
-                    ? Table::num(ScenarioResult::avgRelative(
-                          *results[s], base, filter))
-                    : std::string("-"));
-        }
-        avg.addRow(cells);
-    };
-    row("Avg (HP)", true);
-    row("Avg (LP)", false);
-    row("Avg (all)", std::nullopt);
-    avg.print();
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("fig13_realworld", argc, argv);
-    for (bool hpw_heavy : {true, false}) {
-        for (Scheme s : allSchemes()) {
-            sw.add(pointName(hpw_heavy, s), [hpw_heavy, s] {
-                return toRecord(runRealWorldScenario(hpw_heavy, s));
-            });
-        }
-    }
-    sw.run();
-
-    emitScenario(sw, true);
-    emitScenario(sw, false);
-    return sw.finish();
+    return a4::runFigureBench("fig13_realworld", argc, argv);
 }

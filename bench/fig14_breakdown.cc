@@ -1,105 +1,17 @@
 /**
  * @file
- * Fig. 14 — I/O latency breakdowns and system-wide metrics for the
- * HPW-heavy scenario under Default (DF), Isolate (IS), and A4-a..d.
+ * Fig. 14 — I/O latency breakdowns and system-wide metrics.
  *
- * (a) Fastclick average-latency breakdown: NIC-to-host, packet-
- *     pointer access, packet processing.
- * (b) FFSB-H average-latency breakdown: read, regex, write.
- * (c) System-wide I/O throughput: Fastclick read/write, FFSB-H
- *     read/write.
- * (d) System-wide memory bandwidth: read/write.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig14_breakdown` runs the identical
+ * sweep, and `a4bench --print fig14_breakdown` dumps it as editable spec text.
  */
 
-#include <cstdio>
-#include <iterator>
-#include <optional>
-#include <vector>
-
-#include "harness/scenarios.hh"
-#include "harness/table.hh"
-#include "sim/log.hh"
-
-using namespace a4;
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    const std::span<const Scheme> schemes = allSchemes();
-    // Short row labels, derived so the table tracks allSchemes().
-    auto label = [](Scheme s) -> std::string {
-        if (s == Scheme::Default)
-            return "DF";
-        if (s == Scheme::Isolate)
-            return "IS";
-        return schemeName(s);
-    };
-
-    Sweep sw("fig14_breakdown", argc, argv);
-    for (Scheme s : schemes) {
-        sw.add(schemeName(s), [s] {
-            return toRecord(runRealWorldScenario(true, s));
-        });
-    }
-    sw.run();
-
-    const std::size_t n_schemes = schemes.size();
-    std::vector<std::optional<ScenarioResult>> results(n_schemes);
-    for (std::size_t i = 0; i < n_schemes; ++i) {
-        if (const Record *rec = sw.find(schemeName(schemes[i])))
-            results[i] = scenarioResultFrom(*rec);
-    }
-
-    std::printf("=== Fig. 14a: Fastclick average latency breakdown "
-                "(us) ===\n");
-    Table ta({"scheme", "NIC-to-host", "Pointer access",
-              "Packet process"});
-    for (std::size_t i = 0; i < n_schemes; ++i) {
-        if (!results[i])
-            continue;
-        ta.addRow({label(schemes[i]),
-                   Table::num(results[i]->fc_nic_to_host_us, 2),
-                   Table::num(results[i]->fc_pointer_us, 3),
-                   Table::num(results[i]->fc_process_us, 3)});
-    }
-    ta.print();
-
-    std::printf("\n=== Fig. 14b: FFSB-H average latency breakdown "
-                "(ms) ===\n");
-    Table tb({"scheme", "Read", "RegEx", "Write"});
-    for (std::size_t i = 0; i < n_schemes; ++i) {
-        if (!results[i])
-            continue;
-        tb.addRow({label(schemes[i]), Table::num(results[i]->ffsbh_read_ms, 2),
-                   Table::num(results[i]->ffsbh_regex_ms, 2),
-                   Table::num(results[i]->ffsbh_write_ms, 2)});
-    }
-    tb.print();
-
-    std::printf("\n=== Fig. 14c: system-wide I/O throughput (GB/s) "
-                "===\n");
-    Table tc({"scheme", "Fastclick rd", "Fastclick wr", "FFSB-H rd",
-              "FFSB-H wr"});
-    for (std::size_t i = 0; i < n_schemes; ++i) {
-        if (!results[i])
-            continue;
-        tc.addRow({label(schemes[i]), Table::num(results[i]->fc_rd_gbps),
-                   Table::num(results[i]->fc_wr_gbps),
-                   Table::num(results[i]->ffsbh_rd_gbps),
-                   Table::num(results[i]->ffsbh_wr_gbps)});
-    }
-    tc.print();
-
-    std::printf("\n=== Fig. 14d: system-wide memory bandwidth (GB/s) "
-                "===\n");
-    Table td({"scheme", "Mem read", "Mem write"});
-    for (std::size_t i = 0; i < n_schemes; ++i) {
-        if (!results[i])
-            continue;
-        td.addRow({label(schemes[i]), Table::num(results[i]->mem_rd_gbps),
-                   Table::num(results[i]->mem_wr_gbps)});
-    }
-    td.print();
-    return sw.finish();
+    return a4::runFigureBench("fig14_breakdown", argc, argv);
 }

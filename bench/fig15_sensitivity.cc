@@ -1,170 +1,17 @@
 /**
  * @file
- * Fig. 15 — Sensitivity of A4 to its thresholds and timing
- * parameters, on the HPW-heavy scenario, relative to Default.
+ * Fig. 15 — sensitivity of A4 to its thresholds and timing.
  *
- * (a) Partitioning thresholds: T5 (antagonist miss-rate) at
- *     95/90/80 % and T1 (HPW hit-rate drop) at 30/20 %.
- * (b) Leak-detection thresholds T2/T3/T4: the defaults detect
- *     FFSB-H; raising them past the critical point loses the
- *     detection and the HPW gains.
- * (c) Stable interval: 1/5/10/20 monitoring intervals plus the
- *     oracle (never reverts) — longer stable intervals approach the
- *     oracle's performance.
+ * Thin wrapper: the whole bench — grid, record schema, and table
+ * layout — is the registered SweepSpec of the same name (see
+ * src/harness/figures.cc); `a4bench fig15_sensitivity` runs the identical
+ * sweep, and `a4bench --print fig15_sensitivity` dumps it as editable spec text.
  */
 
-#include <cstdio>
-
-#include "harness/scenarios.hh"
-#include "harness/table.hh"
-#include "sim/log.hh"
-
-using namespace a4;
-
-namespace
-{
-
-A4Params
-baseParams()
-{
-    A4Params p;
-    p.monitor_interval = 5 * kMsec;
-    p.min_accesses = 500;
-    p.min_dma_lines = 500;
-    return p;
-}
-
-Record
-runWith(const A4Params &p)
-{
-    ScenarioOptions opt;
-    opt.a4_override = p;
-    return toRecord(runRealWorldScenario(true, Scheme::A4d, opt));
-}
-
-void
-relRow(Table &t, const Sweep &sw, const std::string &point,
-       const std::string &label, const ScenarioResult *base)
-{
-    const Record *rec = sw.find(point);
-    if (!rec)
-        return;
-    if (!base) {
-        t.addRow({label, "-", "-", "-"});
-        return;
-    }
-    ScenarioResult r = scenarioResultFrom(*rec);
-    t.addRow({label,
-              Table::num(ScenarioResult::avgRelative(r, *base, true)),
-              Table::num(ScenarioResult::avgRelative(r, *base, false)),
-              Table::num(
-                  ScenarioResult::avgRelative(r, *base, std::nullopt))});
-}
-
-struct Combo
-{
-    double t2, t3, t4;
-};
-
-const Combo kCombos[] = {
-    {0.40, 0.35, 0.40}, // defaults (detects FFSB-H)
-    {0.50, 0.35, 0.40},
-    {0.40, 0.40, 0.40},
-    {0.40, 0.35, 0.65},
-    {0.80, 0.35, 0.40}, // past the critical point
-    {0.40, 0.60, 0.40}, // storage share never this high
-};
-
-} // namespace
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    Sweep sw("fig15_sensitivity", argc, argv);
-
-    sw.add("base", [] {
-        return toRecord(runRealWorldScenario(true, Scheme::Default));
-    });
-    for (double t5 : {0.95, 0.90, 0.80}) {
-        sw.add(sformat("a/T5=%.0f", t5 * 100), [t5] {
-            A4Params p = baseParams();
-            p.ant_cache_miss_thr = t5;
-            return runWith(p);
-        });
-    }
-    for (double t1 : {0.30, 0.20}) {
-        sw.add(sformat("a/T1=%.0f", t1 * 100), [t1] {
-            A4Params p = baseParams();
-            p.hpw_llc_hit_thr = t1;
-            return runWith(p);
-        });
-    }
-    for (const Combo &c : kCombos) {
-        sw.add(sformat("b/T2=%.0f,T3=%.0f,T4=%.0f", c.t2 * 100,
-                       c.t3 * 100, c.t4 * 100),
-               [c] {
-                   A4Params p = baseParams();
-                   p.dmalk_dca_ms_thr = c.t2;
-                   p.dmalk_io_tp_thr = c.t3;
-                   p.dmalk_llc_ms_thr = c.t4;
-                   return runWith(p);
-               });
-    }
-    for (unsigned si : {1u, 5u, 10u, 20u}) {
-        sw.add(sformat("c/stable=%u", si), [si] {
-            A4Params p = baseParams();
-            p.stable_intervals = si;
-            return runWith(p);
-        });
-    }
-    sw.add("c/oracle", [] {
-        A4Params p = baseParams();
-        p.enable_revert = false;
-        return runWith(p);
-    });
-    sw.run();
-
-    const Record *base_rec = sw.find("base");
-    ScenarioResult base_val;
-    const ScenarioResult *base = nullptr;
-    if (base_rec) {
-        base_val = scenarioResultFrom(*base_rec);
-        base = &base_val;
-    }
-
-    std::printf("=== Fig. 15a: partitioning thresholds (T1, T5) ===\n");
-    Table ta({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
-    for (double t5 : {0.95, 0.90, 0.80}) {
-        relRow(ta, sw, sformat("a/T5=%.0f", t5 * 100),
-               sformat("T5=%.0f%% T1=20%%", t5 * 100), base);
-    }
-    for (double t1 : {0.30, 0.20}) {
-        relRow(ta, sw, sformat("a/T1=%.0f", t1 * 100),
-               sformat("T5=90%% T1=%.0f%%", t1 * 100), base);
-    }
-    ta.print();
-
-    std::printf("\n=== Fig. 15b: leak-detection thresholds "
-                "(T2/T3/T4) ===\n");
-    Table tb({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
-    for (const Combo &c : kCombos) {
-        relRow(tb, sw,
-               sformat("b/T2=%.0f,T3=%.0f,T4=%.0f", c.t2 * 100,
-                       c.t3 * 100, c.t4 * 100),
-               sformat("T2=%.0f%% T3=%.0f%% T4=%.0f%%", c.t2 * 100,
-                       c.t3 * 100, c.t4 * 100),
-               base);
-    }
-    tb.print();
-
-    std::printf("\n=== Fig. 15c: stable interval vs oracle ===\n");
-    Table tc({"config", "Avg (HP)", "Avg (LP)", "Avg (all)"});
-    for (unsigned si : {1u, 5u, 10u, 20u}) {
-        relRow(tc, sw, sformat("c/stable=%u", si),
-               sformat("stable=%u", si), base);
-    }
-    relRow(tc, sw, "c/oracle", "oracle", base);
-    tc.print();
-    return sw.finish();
+    return a4::runFigureBench("fig15_sensitivity", argc, argv);
 }

@@ -22,7 +22,9 @@ A4SIM="$BUILD/bench/a4sim"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for name in $("$A4SIM" --list); do
+# --list prints the shared registry format (name, kinds, summary);
+# the scenario name is the first column.
+for name in $("$A4SIM" --list | awk '{print $1}'); do
   "$A4SIM" "$name" --print > "$TMP/$name.spec"
   "$A4SIM" --file "$TMP/$name.spec" --print > "$TMP/$name.spec2"
   diff -u "$TMP/$name.spec" "$TMP/$name.spec2"

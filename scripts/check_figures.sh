@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
 # Validate the committed BENCH_figures.json perf-trajectory record.
 #
-# Two failure classes:
+# Three failure classes:
 #   malformed — the committed file is not valid JSON or misses the
 #               aggregate schema (schema_version, benches[], each with
 #               name/wall_s/result and the sweep-runner point schema);
 #   stale     — its *shape* no longer matches the built tree: the set
 #               of benches, their point names, or their metric keys
-#               differ from a fresh regeneration (values and
-#               wall-clock are machine/window-dependent and are
-#               deliberately not compared).
+#               differ from a fresh regeneration;
+#   drifted   — its *values* differ from a fresh regeneration at the
+#               committed duration scale. Every point is a seeded,
+#               deterministic simulation and both sides print
+#               17-significant-digit JSON, so the comparison is exact
+#               float equality — any difference means the simulation
+#               changed and the record must be regenerated on purpose.
+#               (Values are only compared when the fresh aggregate was
+#               generated at the committed duration_scale; wall-clock
+#               and worker counts are machine-dependent and ignored.)
 #
 # Usage: scripts/check_figures.sh [committed.json] [fresh.json]
 #   committed.json  the in-repo record   (default: BENCH_figures.json)
-#   fresh.json      a just-regenerated aggregate to compare shape
-#                   against; when omitted only the format is checked.
+#   fresh.json      a just-regenerated aggregate to compare against;
+#                   when omitted only the format is checked.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,8 +39,8 @@ import json
 import sys
 
 
-def shape(path):
-    """Parse an aggregate and reduce it to its comparable shape."""
+def load(path):
+    """Parse an aggregate and index it as {bench: {point: metrics}}."""
     try:
         with open(path) as f:
             agg = json.load(f)
@@ -62,39 +69,41 @@ def shape(path):
             if "name" not in point or "metrics" not in point:
                 sys.exit(f"check_figures: {path}: {bench['name']}: "
                          "point missing name/metrics")
-            points[point["name"]] = sorted(point["metrics"])
+            points[point["name"]] = point["metrics"]
         if not points:
             sys.exit(f"check_figures: {path}: "
                      f"{bench['name']}: no points")
         out[bench["name"]] = points
     if not out:
         sys.exit(f"check_figures: {path}: no benches")
-    return out
+    return agg, out
 
 
-committed = shape(sys.argv[1])
+agg_c, committed = load(sys.argv[1])
 print(f"check_figures: {sys.argv[1]}: well-formed "
       f"({len(committed)} benches, "
       f"{sum(len(p) for p in committed.values())} points)")
 
 if len(sys.argv) > 2:
-    fresh = shape(sys.argv[2])
+    agg_f, fresh = load(sys.argv[2])
+
     stale = []
     for name in sorted(set(committed) | set(fresh)):
         if name not in committed:
             stale.append(f"bench '{name}' missing from committed file")
         elif name not in fresh:
             stale.append(f"bench '{name}' no longer generated")
-        elif committed[name] != fresh[name]:
+        else:
             old, new = committed[name], fresh[name]
             for pt in sorted(set(old) | set(new)):
                 if pt not in old:
                     stale.append(f"{name}: new point '{pt}'")
                 elif pt not in new:
                     stale.append(f"{name}: dropped point '{pt}'")
-                elif old[pt] != new[pt]:
+                elif sorted(old[pt]) != sorted(new[pt]):
                     stale.append(f"{name}: '{pt}': metric keys "
-                                 f"{old[pt]} != {new[pt]}")
+                                 f"{sorted(old[pt])} != "
+                                 f"{sorted(new[pt])}")
     if stale:
         print("check_figures: committed record is STALE — regenerate "
               "with scripts/figures.sh and commit the result:",
@@ -103,4 +112,34 @@ if len(sys.argv) > 2:
             print(f"  {line}", file=sys.stderr)
         sys.exit(1)
     print("check_figures: shape matches the built tree")
+
+    scale_c = agg_c.get("duration_scale")
+    scale_f = agg_f.get("duration_scale")
+    if scale_c != scale_f:
+        print(f"check_figures: fresh aggregate was generated at "
+              f"duration scale {scale_f!r}, committed at {scale_c!r}; "
+              f"values compared only at the committed scale "
+              f"(regenerate with A4_TEST_DURATION_SCALE={scale_c})",
+              file=sys.stderr)
+        sys.exit(1)
+
+    drift = []
+    for name in sorted(committed):
+        for pt in sorted(committed[name]):
+            old, new = committed[name][pt], fresh[name][pt]
+            for metric in sorted(old):
+                if old[metric] != new[metric]:
+                    drift.append(f"{name}: '{pt}': {metric}: "
+                                 f"{old[metric]!r} != {new[metric]!r}")
+    if drift:
+        print("check_figures: committed record has DRIFTED — the "
+              "simulation's numbers changed; if intended, regenerate "
+              "with scripts/figures.sh and commit the result:",
+              file=sys.stderr)
+        for line in drift[:20]:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_figures: values exactly equal at duration scale "
+          f"{scale_c} ({sum(len(p) for p in committed.values())} "
+          f"points)")
 EOF

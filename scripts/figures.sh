@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Regenerate every paper figure (Fig. 3-15 + the replacement-policy
-# ablation) through the sweep runner and aggregate the per-bench JSON
-# results into one BENCH_figures.json perf-trajectory record.
+# ablation + the memcached demo sweep) through the one a4bench driver
+# (each figure is a registered SweepSpec; the per-figure binaries are
+# thin wrappers over the same registry) and aggregate the per-bench
+# JSON results into one BENCH_figures.json perf-trajectory record.
 #
 # By default the sweep windows are compressed (A4_TEST_DURATION_SCALE
 # =0.25) so a full regeneration stays interactive; export
@@ -35,20 +37,22 @@ BENCHES=(
   fig14_breakdown
   fig15_sensitivity
   ablation_replacement
+  memcached_value_sweep
 )
+
+A4BENCH="$BUILD_DIR/bench/a4bench"
+if [ ! -x "$A4BENCH" ]; then
+  echo "figures.sh: $A4BENCH not built (run cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
 
 mkdir -p "$OUT_DIR"
 declare -A WALL
 
 for b in "${BENCHES[@]}"; do
-  bin="$BUILD_DIR/bench/$b"
-  if [ ! -x "$bin" ]; then
-    echo "figures.sh: $bin not built (run cmake --build $BUILD_DIR)" >&2
-    exit 1
-  fi
   echo "== $b (jobs=$JOBS, duration scale $A4_TEST_DURATION_SCALE) =="
   start=$SECONDS
-  "$bin" --jobs "$JOBS" --json "$OUT_DIR/$b.json" \
+  "$A4BENCH" "$b" --jobs "$JOBS" --json "$OUT_DIR/$b.json" \
     | tee "$OUT_DIR/$b.txt"
   WALL[$b]=$((SECONDS - start))
 done

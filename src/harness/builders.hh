@@ -8,6 +8,7 @@
 #define A4_HARNESS_BUILDERS_HH
 
 #include <memory>
+#include <optional>
 
 #include "harness/scaling.hh"
 #include "harness/testbed.hh"
@@ -16,6 +17,7 @@
 #include "workload/fastclick.hh"
 #include "workload/ffsb.hh"
 #include "workload/fio.hh"
+#include "workload/memcached.hh"
 #include "workload/redis.hh"
 #include "workload/spec.hh"
 #include "workload/xmem.hh"
@@ -23,23 +25,30 @@
 namespace a4
 {
 
-/** DPDK-T/NT on a fresh 100 Gbps NIC (4 queues, 2048-entry rings). */
+/** DPDK-T/NT on a fresh 100 Gbps NIC (4 queues, 2048-entry rings);
+ *  @p per_packet_cpu_ns overrides the scaled default when set
+ *  (already machine-scale, like DpdkConfig's field). */
 inline DpdkWorkload &
 addDpdk(Testbed &bed, const std::string &name, bool touch,
-        NicConfig nic_cfg = NicConfig())
+        NicConfig nic_cfg = NicConfig(),
+        std::optional<double> per_packet_cpu_ns = std::nullopt)
 {
     Nic &nic = bed.addNic(nic_cfg);
+    DpdkConfig cfg = scaledDpdkConfig(bed.config().scale, touch);
+    if (per_packet_cpu_ns)
+        cfg.per_packet_cpu_ns = *per_packet_cpu_ns;
     auto w = std::make_unique<DpdkWorkload>(
         name, bed.allocWorkloadId(),
         bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
-        nic, scaledDpdkConfig(bed.config().scale, touch));
+        nic, cfg);
     return bed.adopt(std::move(w));
 }
 
 /** Fastclick forwarding workload on a fresh NIC. */
 inline FastclickWorkload &
 addFastclick(Testbed &bed, const std::string &name,
-             NicConfig nic_cfg = NicConfig())
+             NicConfig nic_cfg = NicConfig(),
+             std::optional<double> per_packet_cpu_ns = std::nullopt)
 {
     Nic &nic = bed.addNic(nic_cfg);
     // Fastclick's batched forwarding pipeline runs below the DPDK-T
@@ -49,10 +58,27 @@ addFastclick(Testbed &bed, const std::string &name,
     DpdkConfig cfg = scaledDpdkConfig(bed.config().scale, true);
     cfg.per_packet_cpu_ns = 290.0 * bed.config().scale;
     cfg.payload_mlp = 6.0;
+    if (per_packet_cpu_ns)
+        cfg.per_packet_cpu_ns = *per_packet_cpu_ns;
     auto w = std::make_unique<FastclickWorkload>(
         name, bed.allocWorkloadId(),
         bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
         nic, cfg);
+    return bed.adopt(std::move(w));
+}
+
+/** Memcached-over-UDP server on a fresh NIC (already-scaled cfg). */
+inline MemcachedWorkload &
+addMemcached(Testbed &bed, const std::string &name,
+             NicConfig nic_cfg = NicConfig(),
+             MemcachedConfig mc = MemcachedConfig())
+{
+    Nic &nic = bed.addNic(nic_cfg);
+    auto w = std::make_unique<MemcachedWorkload>(
+        name, bed.allocWorkloadId(),
+        bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
+        bed.addrs(), nic, scaledDpdkConfig(bed.config().scale, true),
+        mc);
     return bed.adopt(std::move(w));
 }
 

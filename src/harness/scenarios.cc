@@ -19,6 +19,7 @@ schemeName(Scheme s)
       case Scheme::A4b: return "A4-b";
       case Scheme::A4c: return "A4-c";
       case Scheme::A4d: return "A4-d";
+      case Scheme::Static: return "Static";
     }
     return "?";
 }
@@ -47,6 +48,8 @@ schemeFromName(const std::string &name)
         if (name == schemeName(s))
             return s;
     }
+    if (name == schemeName(Scheme::Static))
+        return Scheme::Static;
     return std::nullopt;
 }
 
@@ -92,18 +95,12 @@ ScenarioResult::avgRelative(const ScenarioResult &r,
 }
 
 ScenarioResult
-runRealWorldScenario(bool hpw_heavy, Scheme scheme,
-                     const ScenarioOptions &opt)
+scenarioResultFromSpec(const SpecResult &sr)
 {
-    // The canonical declarative spec reproduces the historical
-    // hand-wired testbed bit for bit (see realWorldSpec()); this
-    // wrapper only restates the generic SpecResult in the legacy
-    // struct, preserving the original conversion arithmetic exactly.
-    ScenarioSpec spec = realWorldSpec(hpw_heavy);
-    spec.scheme = scheme;
-    spec.a4 = opt.a4_override;
-    SpecResult sr = runSpecWithWindows(spec, opt.windows);
-
+    // Restates a generic SpecResult in the legacy struct, preserving
+    // the historical runRealWorldScenario conversion arithmetic
+    // exactly (sr.measure_window is the same resolved window the
+    // original read from its ScenarioOptions).
     ScenarioResult res;
     for (const SpecWorkloadResult &w : sr.workloads) {
         WorkloadResult r;
@@ -118,17 +115,20 @@ runRealWorldScenario(bool hpw_heavy, Scheme scheme,
     }
 
     const SpecWorkloadResult *fc = sr.find("fastclick");
+    const SpecWorkloadResult *fh = sr.find("ffsb-h");
+    if (fc == nullptr || fh == nullptr)
+        fatal("scenarioResultFromSpec: needs the canonical real-world "
+              "mix ('fastclick' and 'ffsb-h' workloads)");
     res.fc_nic_to_host_us = fc->nic_to_host_ns / 1000.0;
     res.fc_pointer_us = fc->pointer_ns / 1000.0;
     res.fc_process_us = fc->process_ns / 1000.0;
 
-    const SpecWorkloadResult *fh = sr.find("ffsb-h");
     res.ffsbh_read_ms = fh->read_ns / 1e6;
     res.ffsbh_regex_ms = fh->regex_ns / 1e6;
     res.ffsbh_write_ms = fh->write_ns / 1e6;
 
     const double to_gbps =
-        1e9 / double(opt.windows.measure) * sr.scale / 1e9;
+        1e9 / double(sr.measure_window) * sr.scale / 1e9;
     res.fc_rd_gbps = fc->ingress_bytes * to_gbps;
     res.fc_wr_gbps = fc->egress_bytes * to_gbps;
     res.ffsbh_rd_gbps = fh->ingress_bytes * to_gbps;
@@ -140,27 +140,49 @@ runRealWorldScenario(bool hpw_heavy, Scheme scheme,
 }
 
 MicroResult
+microResultFromSpec(const SpecResult &sr)
+{
+    MicroResult res;
+    for (unsigned v = 0; v < 3; ++v) {
+        const SpecWorkloadResult *x =
+            sr.find(sformat("xmem%u", v + 1));
+        if (x == nullptr)
+            fatal(sformat("microResultFromSpec: needs the canonical "
+                          "micro mix (no 'xmem%u' workload)", v + 1));
+        res.xmem_ipc[v] = x->ipc;
+        res.xmem_hit[v] = x->llc_hit_rate;
+    }
+    const SpecWorkloadResult *dpdk = sr.find("dpdk-t");
+    if (dpdk == nullptr)
+        fatal("microResultFromSpec: needs the canonical micro mix "
+              "(no 'dpdk-t' workload)");
+    res.net_tail_us = dpdk->tail_latency_us;
+    res.net_rd_gbps = dpdk->ingress_bytes * 1e9 /
+                      double(sr.measure_window) * sr.scale / 1e9;
+    res.past_events = sr.past_events;
+    return res;
+}
+
+ScenarioResult
+runRealWorldScenario(bool hpw_heavy, Scheme scheme,
+                     const ScenarioOptions &opt)
+{
+    // The canonical declarative spec reproduces the historical
+    // hand-wired testbed bit for bit (see realWorldSpec()).
+    ScenarioSpec spec = realWorldSpec(hpw_heavy);
+    spec.scheme = scheme;
+    spec.a4 = opt.a4_override;
+    return scenarioResultFromSpec(runSpecWithWindows(spec, opt.windows));
+}
+
+MicroResult
 runMicroScenario(Scheme scheme, unsigned packet_bytes,
                  std::uint64_t storage_block, const ScenarioOptions &opt)
 {
     ScenarioSpec spec = microSpec(packet_bytes, storage_block);
     spec.scheme = scheme;
     spec.a4 = opt.a4_override;
-    SpecResult sr = runSpecWithWindows(spec, opt.windows);
-
-    MicroResult res;
-    for (unsigned v = 0; v < 3; ++v) {
-        const SpecWorkloadResult *x =
-            sr.find(sformat("xmem%u", v + 1));
-        res.xmem_ipc[v] = x->ipc;
-        res.xmem_hit[v] = x->llc_hit_rate;
-    }
-    const SpecWorkloadResult *dpdk = sr.find("dpdk-t");
-    res.net_tail_us = dpdk->tail_latency_us;
-    res.net_rd_gbps = dpdk->ingress_bytes * 1e9 /
-                      double(opt.windows.measure) * sr.scale / 1e9;
-    res.past_events = sr.past_events;
-    return res;
+    return microResultFromSpec(runSpecWithWindows(spec, opt.windows));
 }
 
 Record

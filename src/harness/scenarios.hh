@@ -21,8 +21,13 @@
 namespace a4
 {
 
-/** LLC management scheme under evaluation. */
-enum class Scheme { Default, Isolate, A4a, A4b, A4c, A4d };
+/**
+ * LLC management scheme under evaluation. `Static` is the
+ * motivation-figure setup (Figs. 3-8): no manager at all, the spec's
+ * way pins programmed directly into CAT (CLOS 1, 2, ... in list
+ * order) — exactly the hand-wired `pinWays` testbeds.
+ */
+enum class Scheme { Default, Isolate, A4a, A4b, A4c, A4d, Static };
 
 const char *schemeName(Scheme s);
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <numeric>
 #include <sstream>
 #include <unordered_map>
@@ -112,6 +113,7 @@ struct KindDef
 {
     const char *kind;
     bool multithread_io; ///< §7.2 perf rule: throughput vs IPC
+    bool is_io;          ///< drives a PCIe device (per-port DCA knob)
     std::vector<KnobDef> knobs;
     Workload &(*build)(Testbed &, const WorkloadSpec &, BuiltMap &);
 };
@@ -132,14 +134,22 @@ nicConfigFromKnobs(const WorkloadSpec &w)
 Workload &
 buildDpdk(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
 {
+    // per_packet_cpu_ns is a nominal per-unit CPU cost; like every
+    // fixed per-unit cost it multiplies by the scale (scaling.hh).
+    std::optional<double> cpu_ns;
+    if (w.find("per_packet_cpu_ns") != nullptr)
+        cpu_ns = w.num("per_packet_cpu_ns", 0.0) * bed.config().scale;
     return addDpdk(bed, w.name, w.flag("touch", true),
-                   nicConfigFromKnobs(w));
+                   nicConfigFromKnobs(w), cpu_ns);
 }
 
 Workload &
 buildFastclick(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
 {
-    return addFastclick(bed, w.name, nicConfigFromKnobs(w));
+    std::optional<double> cpu_ns;
+    if (w.find("per_packet_cpu_ns") != nullptr)
+        cpu_ns = w.num("per_packet_cpu_ns", 0.0) * bed.config().scale;
+    return addFastclick(bed, w.name, nicConfigFromKnobs(w), cpu_ns);
 }
 
 Workload &
@@ -178,6 +188,22 @@ buildFio(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
     fc.consume = w.flag("consume", fc.consume);
     fc.seed = w.u64("seed", fc.seed);
     return addFioCustom(bed, w.name, fc, sc);
+}
+
+Workload &
+buildMemcached(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
+{
+    const unsigned scale = bed.config().scale;
+    MemcachedConfig mc;
+    // Like the Redis store, the record count scales (keeping the
+    // value size) so the store stays LLC-commensurate; num_keys is
+    // nominal (paper) records, default ~64 MiB of 1 KiB values.
+    mc.num_keys = scaledRedisKeys(w.u64("num_keys", 65536), scale);
+    mc.value_bytes = w.u32("value_bytes", mc.value_bytes);
+    mc.get_ratio = w.num("get_ratio", mc.get_ratio);
+    mc.per_op_cpu_ns = w.num("per_op_cpu_ns", mc.per_op_cpu_ns) * scale;
+    mc.seed = w.u64("seed", mc.seed);
+    return addMemcached(bed, w.name, nicConfigFromKnobs(w), mc);
 }
 
 Workload &
@@ -258,30 +284,36 @@ const std::vector<KindDef> &
 kinds()
 {
     static const std::vector<KindDef> defs = {
-        {"dpdk", true,
+        {"dpdk", true, true,
          {{"packet_bytes", 'u'}, {"offered_gbps", 'd'},
           {"num_queues", 'u'}, {"ring_entries", 'u'}, {"touch", 'b'},
-          {"poisson", 'b'}, {"seed", 'u'}},
+          {"poisson", 'b'}, {"per_packet_cpu_ns", 'd'}, {"seed", 'u'}},
          buildDpdk},
-        {"fastclick", true,
+        {"fastclick", true, true,
          {{"packet_bytes", 'u'}, {"offered_gbps", 'd'},
           {"num_queues", 'u'}, {"ring_entries", 'u'}, {"poisson", 'b'},
-          {"seed", 'u'}},
+          {"per_packet_cpu_ns", 'd'}, {"seed", 'u'}},
          buildFastclick},
-        {"fio", true,
+        {"fio", true, true,
          {{"profile", 's'}, {"block_bytes", 'u'}, {"num_jobs", 'u'},
           {"iodepth", 'u'}, {"write_mix", 'd'},
           {"regex_ns_per_line", 'd'}, {"consume", 'b'}, {"seed", 'u'},
           {"link_bw_bps", 'd'}, {"parallelism", 'u'}},
          buildFio},
-        {"xmem", false,
+        {"memcached-udp", true, true,
+         {{"packet_bytes", 'u'}, {"offered_gbps", 'd'},
+          {"num_queues", 'u'}, {"ring_entries", 'u'}, {"poisson", 'b'},
+          {"value_bytes", 'u'}, {"get_ratio", 'd'}, {"num_keys", 'u'},
+          {"per_op_cpu_ns", 'd'}, {"seed", 'u'}},
+         buildMemcached},
+        {"xmem", false, false,
          {{"variant", 'u'}, {"cores", 'u'}, {"seed", 'u'}},
          buildXmem},
-        {"spec", false, {{"bench", 's'}}, buildSpecCpu},
-        {"redis-server", false,
+        {"spec", false, false, {{"bench", 's'}}, buildSpecCpu},
+        {"redis-server", false, false,
          {{"num_keys", 'u'}, {"value_bytes", 'u'}, {"seed", 'u'}},
          buildRedisServer},
-        {"redis-client", false,
+        {"redis-client", false, false,
          {{"server", 's'}, {"num_keys", 'u'}, {"value_bytes", 'u'},
           {"seed", 'u'}},
          buildRedisClient},
@@ -495,6 +527,12 @@ validateSpec(const ScenarioSpec &spec, const std::string &origin)
             specErr(origin, w.line,
                     sformat("workload '%s': unknown kind '%s'",
                             w.name.c_str(), w.kind.c_str()));
+        if (!w.dca && !kd->is_io)
+            specErr(origin, w.line,
+                    sformat("workload '%s': %s.dca applies only to "
+                            "I/O-device kinds, not '%s'",
+                            w.name.c_str(), w.name.c_str(),
+                            w.kind.c_str()));
         for (const SpecKnob &k : w.knobs) {
             const KnobDef *def = nullptr;
             for (const KnobDef &cand : kd->knobs) {
@@ -723,6 +761,19 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
             (key == "warmup_ns" ? spec.windows.warmup
                                 : spec.windows.measure) =
                 static_cast<Tick>(v);
+        } else if (key == "dca") {
+            bool v;
+            if (!parseBool(value, v))
+                specErr(origin, line,
+                        sformat("bad value '%s' for dca (want 0/1, "
+                                "the global BIOS knob)", value.c_str()));
+            spec.bios_dca = v;
+        } else if (key == "replacement") {
+            if (value != "lru" && value != "srrip")
+                specErr(origin, line,
+                        sformat("unknown replacement policy '%s' "
+                                "(want lru or srrip)", value.c_str()));
+            spec.replacement = value;
         } else if (key == "workload") {
             if (!validName(value) || value == "a4")
                 specErr(origin, line,
@@ -737,11 +788,26 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
             w.name = value;
             w.line = line;
             spec.workloads.push_back(std::move(w));
+        } else if (key == "drop") {
+            bool found = false;
+            for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+                if (spec.workloads[i].name == value) {
+                    spec.workloads.erase(spec.workloads.begin() +
+                                         static_cast<long>(i));
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                specErr(origin, line,
+                        sformat("drop: no workload '%s' to remove",
+                                value.c_str()));
         } else {
             specErr(origin, line,
-                    sformat("unknown key '%s' (want name, scheme, "
-                            "warmup_ns, measure_ns, workload, a4.*, "
-                            "or <workload>.*)", key.c_str()));
+                    sformat("unknown key '%s' (want name, scheme, dca, "
+                            "replacement, warmup_ns, measure_ns, "
+                            "workload, drop, a4.*, or <workload>.*)",
+                            key.c_str()));
         }
         return;
     }
@@ -780,6 +846,14 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
                     sformat("bad value '%s' for %s.hpw (want 0/1)",
                             value.c_str(), prefix.c_str()));
         w->hpw = v;
+    } else if (sub == "dca") {
+        bool v;
+        if (!parseBool(value, v))
+            specErr(origin, line,
+                    sformat("bad value '%s' for %s.dca (want 0/1, the "
+                            "per-port DDIO knob)", value.c_str(),
+                            prefix.c_str()));
+        w->dca = v;
     } else if (sub == "build") {
         std::uint64_t v;
         if (!parseU64(value, v) || v > 0x7FFFFFFFull)
@@ -873,6 +947,10 @@ serializeSpec(const ScenarioSpec &spec)
     if (!spec.name.empty())
         out << "name = " << spec.name << "\n";
     out << "scheme = " << schemeName(spec.scheme) << "\n";
+    if (!spec.bios_dca)
+        out << "dca = 0\n";
+    if (!spec.replacement.empty())
+        out << "replacement = " << spec.replacement << "\n";
     out << "warmup_ns = " << fmtU64(spec.windows.warmup) << "\n";
     out << "measure_ns = " << fmtU64(spec.windows.measure) << "\n";
     for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
@@ -880,6 +958,8 @@ serializeSpec(const ScenarioSpec &spec)
         out << "\nworkload = " << w.name << "\n";
         out << w.name << ".kind = " << w.kind << "\n";
         out << w.name << ".hpw = " << fmtBool(w.hpw) << "\n";
+        if (!w.dca)
+            out << w.name << ".dca = 0\n";
         if (w.build >= 0 && w.build != static_cast<int>(i))
             out << w.name << ".build = " << w.build << "\n";
         if (w.pin) {
@@ -973,7 +1053,11 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
         fatal(sformat("spec '%s': no workloads",
                       spec.name.empty() ? "<spec>" : spec.name.c_str()));
 
-    Testbed bed;
+    ServerConfig server_cfg = ServerConfig::fast();
+    if (spec.replacement == "srrip")
+        server_cfg.geometry.replacement = LlcReplacement::Srrip;
+    Testbed bed(server_cfg);
+    bed.ddio().setBiosDca(spec.bios_dca);
     const std::size_t n = spec.workloads.size();
 
     // Construction pass, in build order: allocates workload ids,
@@ -998,6 +1082,12 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
         by_index[idx] = &wl;
     }
 
+    // Per-port DCA disable (the Fig. 8 I/O-device-aware knob).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!spec.workloads[i].dca)
+            bed.ddio().disableDcaForPort(by_index[i]->ioPort());
+    }
+
     // Registration order is list order, like every historical runner.
     std::vector<WorkloadDesc> descs;
     descs.reserve(n);
@@ -1009,7 +1099,22 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
     }
 
     std::unique_ptr<A4Manager> mgr;
-    if (spec.scheme == Scheme::Default) {
+    if (spec.scheme == Scheme::Static) {
+        // Motivation-figure setup: no manager; pins programmed
+        // directly, CLOS 1, 2, ... in list order — the historical
+        // pinWays() testbeds bit for bit.
+        unsigned clos = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!spec.workloads[i].pin)
+                continue;
+            bed.cat().setClosMask(
+                clos, CatController::makeMask(spec.workloads[i].pin->first,
+                                              spec.workloads[i].pin->second));
+            for (CoreId c : by_index[i]->cores())
+                bed.cat().assignCore(c, clos);
+            ++clos;
+        }
+    } else if (spec.scheme == Scheme::Default) {
         DefaultManager dm(bed.cat());
         dm.start();
     } else if (spec.scheme == Scheme::Isolate) {
@@ -1056,6 +1161,10 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
         r.multithread_io = kindMultithreadIo(r.kind);
         WorkloadSample s = m.sample(wl);
         r.llc_hit_rate = s.llcHitRate();
+        r.llc_miss_rate = s.llcMissRate();
+        r.mpa = s.missesPerAccess();
+        r.dca_leak = s.dcaMissRate();
+        r.lat_mean_ns = wl.latency().mean();
         r.ipc = m.ipc(wl);
         // §7.2: multi-threaded I/O workloads are measured by
         // throughput = inverse latency per request; single-threaded
@@ -1119,7 +1228,11 @@ toRecord(const SpecResult &r)
         rec.set(p + "perf", w.perf);
         rec.set(p + "ipc", w.ipc);
         rec.set(p + "hit", w.llc_hit_rate);
+        rec.set(p + "miss", w.llc_miss_rate);
+        rec.set(p + "mpa", w.mpa);
+        rec.set(p + "leak", w.dca_leak);
         rec.set(p + "tail_us", w.tail_latency_us);
+        rec.set(p + "lat_mean_ns", w.lat_mean_ns);
         rec.set(p + "in_bytes", w.ingress_bytes);
         rec.set(p + "out_bytes", w.egress_bytes);
         if (w.has_net_breakdown) {
@@ -1157,7 +1270,11 @@ specResultFrom(const Record &rec)
         w.perf = rec.num(p + "perf");
         w.ipc = rec.num(p + "ipc");
         w.llc_hit_rate = rec.num(p + "hit");
+        w.llc_miss_rate = rec.num(p + "miss");
+        w.mpa = rec.num(p + "mpa");
+        w.dca_leak = rec.num(p + "leak");
         w.tail_latency_us = rec.num(p + "tail_us");
+        w.lat_mean_ns = rec.num(p + "lat_mean_ns");
         w.ingress_bytes = rec.num(p + "in_bytes");
         w.egress_bytes = rec.num(p + "out_bytes");
         if (rec.has(p + "net_nic_to_host_ns")) {
@@ -1340,6 +1457,19 @@ scenarioRegistry()
         }
         {
             ScenarioSpec s;
+            s.name = "memcached";
+            WorkloadSpec &mc = s.add("mc", "memcached-udp", true);
+            mc.set("value_bytes", std::uint64_t(1024));
+            WorkloadSpec &f = s.add("fio", "fio", false);
+            f.set("block_bytes", std::uint64_t(1 * kMiB));
+            v.push_back({"memcached",
+                         "Memcached-over-UDP KV server (HPW) fed from "
+                         "the NIC against a 1 MiB-block FIO antagonist "
+                         "(LPW)",
+                         std::move(s)});
+        }
+        {
+            ScenarioSpec s;
             s.name = "storage-flood";
             s.scheme = Scheme::A4d;
             const std::uint64_t blocks[] = {64 * kKiB, 512 * kKiB,
@@ -1369,6 +1499,1447 @@ findScenario(const std::string &name)
             return &r;
     }
     return nullptr;
+}
+
+// --------------------------------------------------------------------
+// SweepSpec
+
+namespace
+{
+
+/** Escape for single-line text payloads (titles, cells, notes). */
+std::string
+escText(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '\\')
+            out += "\\\\";
+        else if (ch == '\n')
+            out += "\\n";
+        else
+            out += ch;
+    }
+    return out;
+}
+
+std::string
+unescText(const std::string &s, const std::string &origin, unsigned line)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            out += s[i];
+            continue;
+        }
+        if (i + 1 >= s.size())
+            specErr(origin, line, "dangling '\\' in text");
+        ++i;
+        if (s[i] == '\\')
+            out += '\\';
+        else if (s[i] == 'n')
+            out += '\n';
+        else
+            specErr(origin, line,
+                    sformat("unknown escape '\\%c' (want \\n or \\\\)",
+                            s[i]));
+    }
+    return out;
+}
+
+/** Comma-split (no trimming: labels keep their spaces). */
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t next = s.find(sep, pos);
+        if (next == std::string::npos) {
+            out.push_back(s.substr(pos));
+            return out;
+        }
+        out.push_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+}
+
+/** Parse "axis=value,axis=value" cell/row bindings. */
+std::vector<std::pair<std::string, std::string>>
+parseBinds(const std::string &s, const std::string &origin, unsigned line)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    if (s.empty())
+        return out;
+    for (const std::string &item : splitList(s, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size())
+            specErr(origin, line,
+                    sformat("bad binding '%s' (want axis=value)",
+                            item.c_str()));
+        out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    }
+    return out;
+}
+
+std::string
+bindsText(const std::vector<std::pair<std::string, std::string>> &binds)
+{
+    std::string out;
+    for (std::size_t i = 0; i < binds.size(); ++i) {
+        if (i)
+            out += ",";
+        out += binds[i].first + "=" + binds[i].second;
+    }
+    return out;
+}
+
+/** Expand a "lo:hi:step" range into decimal value texts. */
+std::vector<std::string>
+expandRange(const std::string &s, const std::string &origin, unsigned line)
+{
+    const std::vector<std::string> parts = splitList(s, ':');
+    std::uint64_t lo = 0, hi = 0, step = 1;
+    bool ok = (parts.size() == 2 || parts.size() == 3) &&
+              parseU64(parts[0], lo) && parseU64(parts[1], hi) &&
+              (parts.size() == 2 || parseU64(parts[2], step)) &&
+              step > 0 && lo <= hi;
+    if (ok && (hi - lo) / step + 1 > 10000)
+        specErr(origin, line,
+                sformat("range '%s' expands to more than 10000 values",
+                        s.c_str()));
+    if (!ok)
+        specErr(origin, line,
+                sformat("bad range '%s' (want \"lo:hi[:step]\", "
+                        "lo <= hi, step > 0)", s.c_str()));
+    std::vector<std::string> out;
+    const std::uint64_t count = (hi - lo) / step + 1;
+    for (std::uint64_t i = 0; i < count; ++i)
+        out.push_back(fmtU64(lo + i * step));
+    return out;
+}
+
+const char *
+viewName(SweepRecordView v)
+{
+    switch (v) {
+      case SweepRecordView::Spec: return "spec";
+      case SweepRecordView::Micro: return "micro";
+      case SweepRecordView::Scenario: return "scenario";
+      case SweepRecordView::Select: return "select";
+    }
+    return "?";
+}
+
+bool
+viewFromName(const std::string &s, SweepRecordView &out)
+{
+    for (SweepRecordView v :
+         {SweepRecordView::Spec, SweepRecordView::Micro,
+          SweepRecordView::Scenario, SweepRecordView::Select}) {
+        if (s == viewName(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One spec-override assignment, plus the sweep-only "scenario" key
+ *  that swaps the whole working spec for a registered one. */
+void
+applySweepAssignment(ScenarioSpec &working, const std::string &key,
+                     const std::string &value, const std::string &origin,
+                     unsigned line)
+{
+    if (key == "scenario") {
+        const RegisteredScenario *r = findScenario(value);
+        if (r == nullptr)
+            specErr(origin, line,
+                    sformat("unknown scenario '%s' (a4sim --list shows "
+                            "the registry)", value.c_str()));
+        working = r->spec;
+        return;
+    }
+    applyAssignment(working, key, value, origin, line);
+}
+
+/** Known record=select metric fields. */
+const char *const kSweepSysFields[] = {"mem_rd_gbps", "mem_wr_gbps",
+                                       "past_events"};
+const char *const kSweepWlFields[] = {
+    "perf",       "ipc",        "hit",        "miss",
+    "mpa",        "leak",       "lat_avg_us", "lat_p99_us",
+    "io_rd_gbps", "io_wr_gbps"};
+
+bool
+knownField(const char *const *table, std::size_t n,
+           const std::string &field)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (field == table[i])
+            return true;
+    }
+    return false;
+}
+
+/** Parse one "cell = ..." payload. */
+SweepCellSpec
+parseCell(const std::string &value, const std::string &origin,
+          unsigned line)
+{
+    SweepCellSpec cell;
+    cell.line = line;
+    const std::size_t sp = value.find(' ');
+    cell.op = value.substr(0, sp);
+    if (cell.op == "text") {
+        if (sp == std::string::npos)
+            specErr(origin, line, "cell: text needs a template");
+        cell.arg = unescText(value.substr(sp + 1), origin, line);
+        return cell;
+    }
+    if (cell.op != "num" && cell.op != "pct" && cell.op != "rel" &&
+        cell.op != "agg")
+        specErr(origin, line,
+                sformat("unknown cell op '%s' (want text, num, pct, "
+                        "rel, or agg)", cell.op.c_str()));
+    std::istringstream in(sp == std::string::npos ? std::string()
+                                                  : value.substr(sp + 1));
+    std::string tok;
+    while (in >> tok) {
+        if (tok[0] == '@') {
+            cell.bind = parseBinds(tok.substr(1), origin, line);
+        } else if (cell.arg.empty()) {
+            cell.arg = tok;
+        } else if (cell.digits < 0) {
+            std::uint64_t d;
+            if (!parseU64(tok, d) || d > 17)
+                specErr(origin, line,
+                        sformat("bad cell digits '%s'", tok.c_str()));
+            cell.digits = static_cast<int>(d);
+        } else {
+            specErr(origin, line,
+                    sformat("unexpected cell token '%s'", tok.c_str()));
+        }
+    }
+    if (cell.arg.empty())
+        specErr(origin, line,
+                sformat("cell: %s needs a metric key", cell.op.c_str()));
+    if (cell.op == "agg" && cell.arg != "hp" && cell.arg != "lp" &&
+        cell.arg != "all")
+        specErr(origin, line,
+                sformat("cell: agg wants hp, lp, or all, not '%s'",
+                        cell.arg.c_str()));
+    return cell;
+}
+
+std::string
+cellText(const SweepCellSpec &cell)
+{
+    if (cell.op == "text")
+        return "text " + escText(cell.arg);
+    std::string out = cell.op + " " + cell.arg;
+    if (cell.digits >= 0)
+        out += sformat(" %d", cell.digits);
+    if (!cell.bind.empty())
+        out += " @" + bindsText(cell.bind);
+    return out;
+}
+
+} // namespace
+
+const std::string &
+SweepAxis::label(std::size_t index, const std::string &set) const
+{
+    if (set.empty())
+        return labels.empty() ? values[index] : labels[index];
+    for (const auto &ls : label_sets) {
+        if (ls.first == set)
+            return ls.second[index];
+    }
+    fatal(sformat("axis '%s': no label set '%s'", name.c_str(),
+                  set.c_str()));
+}
+
+std::size_t
+SweepAxis::indexOf(const std::string &value) const
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] == value)
+            return i;
+    }
+    return std::string::npos;
+}
+
+SweepAxis *
+SweepSpec::findAxis(const std::string &axis_name)
+{
+    for (SweepAxis &a : axes) {
+        if (a.name == axis_name)
+            return &a;
+    }
+    return nullptr;
+}
+
+const SweepAxis *
+SweepSpec::findAxis(const std::string &axis_name) const
+{
+    return const_cast<SweepSpec *>(this)->findAxis(axis_name);
+}
+
+const SweepGrid *
+SweepSpec::findGrid(const std::string &grid_name) const
+{
+    for (const SweepGrid &g : grids) {
+        if (g.name == grid_name)
+            return &g;
+    }
+    return nullptr;
+}
+
+std::size_t
+SweepSpec::pointCount() const
+{
+    std::size_t total = 0;
+    for (const SweepGrid &g : grids) {
+        std::size_t n = 1;
+        for (const std::string &a : g.axes) {
+            const SweepAxis *axis = findAxis(a);
+            n *= axis != nullptr ? axis->values.size() : 0;
+        }
+        total += n;
+    }
+    return total;
+}
+
+std::string
+sweepSubstitute(const SweepSpec &spec, const std::string &tmpl,
+                const SweepBinding &binding, const std::string &origin,
+                unsigned line)
+{
+    std::string out;
+    out.reserve(tmpl.size());
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+        if (tmpl[i] != '{') {
+            out += tmpl[i];
+            continue;
+        }
+        const std::size_t close = tmpl.find('}', i);
+        if (close == std::string::npos)
+            specErr(origin, line,
+                    sformat("unterminated '{' in '%s'", tmpl.c_str()));
+        std::string ref = tmpl.substr(i + 1, close - i - 1);
+        std::string set;
+        if (const std::size_t colon = ref.find(':');
+            colon != std::string::npos) {
+            set = ref.substr(colon + 1);
+            ref = ref.substr(0, colon);
+        }
+        const SweepAxis *axis = spec.findAxis(ref);
+        if (axis == nullptr)
+            specErr(origin, line,
+                    sformat("'{%s}': unknown axis '%s'", ref.c_str(),
+                            ref.c_str()));
+        if (!set.empty()) {
+            bool has_set = false;
+            for (const auto &ls : axis->label_sets)
+                has_set = has_set || ls.first == set;
+            if (!has_set)
+                specErr(origin, line,
+                        sformat("'{%s:%s}': axis '%s' has no label "
+                                "set '%s' (overriding %s.values drops "
+                                "size-mismatched label sets — override "
+                                "%s.labels.%s too)", ref.c_str(),
+                                set.c_str(), ref.c_str(), set.c_str(),
+                                ref.c_str(), ref.c_str(), set.c_str()));
+        }
+        bool bound = false;
+        for (const auto &[name, index] : binding) {
+            if (name == ref) {
+                out += axis->label(index, set);
+                bound = true;
+                break;
+            }
+        }
+        if (!bound)
+            specErr(origin, line,
+                    sformat("'{%s}': axis '%s' is not bound here",
+                            ref.c_str(), ref.c_str()));
+        i = close;
+    }
+    return out;
+}
+
+std::string
+sweepPointName(const SweepSpec &spec, const SweepGrid &grid,
+               const SweepBinding &binding, const std::string &origin)
+{
+    return sweepSubstitute(spec, grid.point, binding, origin, grid.line);
+}
+
+std::vector<SweepPoint>
+expandSweepSpec(const SweepSpec &spec, const std::string &origin)
+{
+    std::vector<SweepPoint> out;
+    for (const SweepGrid &g : spec.grids) {
+        std::vector<const SweepAxis *> axes;
+        for (const std::string &name : g.axes) {
+            const SweepAxis *a = spec.findAxis(name);
+            if (a == nullptr)
+                specErr(origin, g.line,
+                        sformat("grid '%s': unknown axis '%s'",
+                                g.name.c_str(), name.c_str()));
+            axes.push_back(a);
+        }
+        std::vector<std::size_t> idx(axes.size(), 0);
+        while (true) {
+            SweepPoint p;
+            p.grid = &g;
+            for (std::size_t i = 0; i < axes.size(); ++i)
+                p.binding.emplace_back(axes[i]->name, idx[i]);
+            p.name = sweepPointName(spec, g, p.binding, origin);
+            ScenarioSpec point = spec.base;
+            for (const SpecKnob &s : g.sets)
+                applySweepAssignment(point, s.key, s.value, origin,
+                                     s.line);
+            for (std::size_t i = 0; i < axes.size(); ++i)
+                applySweepAssignment(point, axes[i]->key,
+                                     axes[i]->values[idx[i]], origin,
+                                     axes[i]->line);
+            validateSpec(point, origin);
+            p.spec = std::move(point);
+            out.push_back(std::move(p));
+
+            // Odometer: last axis innermost.
+            bool done = true;
+            for (std::size_t i = axes.size(); i-- > 0;) {
+                if (++idx[i] < axes[i]->values.size()) {
+                    done = false;
+                    break;
+                }
+                idx[i] = 0;
+            }
+            if (done)
+                break;
+        }
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        for (std::size_t j = i + 1; j < out.size(); ++j) {
+            if (out[i].name == out[j].name)
+                specErr(origin, out[j].grid->line,
+                        sformat("duplicate point name '%s'",
+                                out[j].name.c_str()));
+        }
+    }
+    return out;
+}
+
+double
+evalSweepMetric(const SpecResult &r, const std::string &expr)
+{
+    const std::size_t dot = expr.find('.');
+    if (dot == std::string::npos)
+        fatal(sformat("metric '%s': want sys.<field> or "
+                      "<workload>.<field>", expr.c_str()));
+    const std::string target = expr.substr(0, dot);
+    const std::string field = expr.substr(dot + 1);
+    if (target == "sys") {
+        if (field == "mem_rd_gbps")
+            return unscaleBw(r.mem_rd_bw_bps, r.scale) / 1e9;
+        if (field == "mem_wr_gbps")
+            return unscaleBw(r.mem_wr_bw_bps, r.scale) / 1e9;
+        if (field == "past_events")
+            return r.past_events;
+        fatal(sformat("metric '%s': unknown sys field", expr.c_str()));
+    }
+    const SpecWorkloadResult *w = r.find(target);
+    if (w == nullptr)
+        return 0.0; // absent (dropped) workloads read as zero
+    if (field == "perf")
+        return w->perf;
+    if (field == "ipc")
+        return w->ipc;
+    if (field == "hit")
+        return w->llc_hit_rate;
+    if (field == "miss")
+        return w->llc_miss_rate;
+    if (field == "mpa")
+        return w->mpa;
+    if (field == "leak")
+        return w->dca_leak;
+    if (field == "lat_avg_us")
+        return w->lat_mean_ns / 1000.0;
+    if (field == "lat_p99_us")
+        return w->tail_latency_us;
+    if (field == "io_rd_gbps")
+        return unscaleBw(w->ingress_bytes * 1e9 /
+                             double(r.measure_window),
+                         r.scale) /
+               1e9;
+    if (field == "io_wr_gbps")
+        return unscaleBw(w->egress_bytes * 1e9 /
+                             double(r.measure_window),
+                         r.scale) /
+               1e9;
+    fatal(sformat("metric '%s': unknown workload field", expr.c_str()));
+}
+
+bool
+validSweepMetricExpr(const std::string &expr)
+{
+    const std::size_t dot = expr.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= expr.size())
+        return false;
+    const std::string target = expr.substr(0, dot);
+    const std::string field = expr.substr(dot + 1);
+    if (target == "sys")
+        return knownField(kSweepSysFields, std::size(kSweepSysFields),
+                          field);
+    return knownField(kSweepWlFields, std::size(kSweepWlFields), field);
+}
+
+namespace
+{
+
+/** Can @p key appear in a Record of @p g's record view? Per-workload
+ *  "w<N>.*" keys of the scenario/spec views are workload-count
+ *  dependent, so they pass as a pattern. */
+bool
+sweepRecordHasKey(const SweepSpec &spec, const SweepGrid &g,
+                  const std::string &key)
+{
+    auto fixed = [&key](std::initializer_list<const char *> keys) {
+        for (const char *k : keys) {
+            if (key == k)
+                return true;
+        }
+        return false;
+    };
+    auto perWorkload = [&key] {
+        if (key.size() < 3 || key[0] != 'w')
+            return false;
+        std::size_t i = 1;
+        while (i < key.size() && std::isdigit(
+                                     static_cast<unsigned char>(key[i])))
+            ++i;
+        return i > 1 && i < key.size() && key[i] == '.';
+    };
+    switch (spec.record) {
+      case SweepRecordView::Select: {
+        if (key == "past_events")
+            return true;
+        const std::vector<SpecKnob> &metrics =
+            g.metrics.empty() ? spec.metrics : g.metrics;
+        for (const SpecKnob &m : metrics) {
+            if (m.key == key)
+                return true;
+        }
+        return false;
+      }
+      case SweepRecordView::Micro:
+        return fixed({"x1_ipc", "x1_hit", "x2_ipc", "x2_hit", "x3_ipc",
+                      "x3_hit", "net_tail_us", "net_rd_gbps",
+                      "past_events"});
+      case SweepRecordView::Scenario:
+        return perWorkload() ||
+               fixed({"workloads", "fc_nic_to_host_us",
+                      "fc_pointer_us", "fc_process_us", "ffsbh_read_ms",
+                      "ffsbh_regex_ms", "ffsbh_write_ms", "fc_rd_gbps",
+                      "fc_wr_gbps", "ffsbh_rd_gbps", "ffsbh_wr_gbps",
+                      "mem_rd_gbps", "mem_wr_gbps", "past_events"});
+      case SweepRecordView::Spec:
+        return perWorkload() ||
+               fixed({"workloads", "mem_rd_bw_bps", "mem_wr_bw_bps",
+                      "measure_ns", "scale", "past_events"});
+    }
+    return false;
+}
+
+} // namespace
+
+void
+validateSweepSpec(const SweepSpec &spec, const std::string &origin)
+{
+    if (!validName(spec.name))
+        specErr(origin, 0,
+                sformat("invalid sweep name '%s'", spec.name.c_str()));
+    validateSpec(spec.base, origin);
+
+    auto checkMetricList = [&](const std::vector<SpecKnob> &metrics) {
+        for (const SpecKnob &m : metrics) {
+            if (!validName(m.key))
+                specErr(origin, m.line,
+                        sformat("invalid metric key '%s'",
+                                m.key.c_str()));
+            if (!validSweepMetricExpr(m.value))
+                specErr(origin, m.line,
+                        sformat("metric '%s': unknown expression '%s' "
+                                "(want sys.<field> or "
+                                "<workload>.<field>)", m.key.c_str(),
+                                m.value.c_str()));
+        }
+    };
+    checkMetricList(spec.metrics);
+
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const SweepAxis &a = spec.axes[i];
+        if (!validName(a.name) || a.name == "base")
+            specErr(origin, a.line,
+                    sformat("invalid axis name '%s'", a.name.c_str()));
+        for (std::size_t j = i + 1; j < spec.axes.size(); ++j) {
+            if (spec.axes[j].name == a.name)
+                specErr(origin, spec.axes[j].line,
+                        sformat("duplicate axis '%s'", a.name.c_str()));
+        }
+        if (a.key.empty())
+            specErr(origin, a.line,
+                    sformat("axis '%s' has no key", a.name.c_str()));
+        if (a.values.empty())
+            specErr(origin, a.line,
+                    sformat("axis '%s' has no values", a.name.c_str()));
+        for (std::size_t v = 0; v < a.values.size(); ++v) {
+            if (a.values[v].empty() ||
+                a.values[v].find(',') != std::string::npos)
+                specErr(origin, a.line,
+                        sformat("axis '%s': bad value '%s' (empty or "
+                                "contains ',')", a.name.c_str(),
+                                a.values[v].c_str()));
+            if (a.indexOf(a.values[v]) != v)
+                specErr(origin, a.line,
+                        sformat("axis '%s': duplicate value '%s'",
+                                a.name.c_str(), a.values[v].c_str()));
+        }
+        auto checkLabels = [&](const std::vector<std::string> &ls,
+                               const std::string &set) {
+            if (ls.size() != a.values.size())
+                specErr(origin, a.line,
+                        sformat("axis '%s': %zu values but %zu "
+                                "labels%s%s", a.name.c_str(),
+                                a.values.size(), ls.size(),
+                                set.empty() ? "" : " in set ",
+                                set.c_str()));
+            for (const std::string &l : ls) {
+                if (l.find(',') != std::string::npos)
+                    specErr(origin, a.line,
+                            sformat("axis '%s': label '%s' contains "
+                                    "','", a.name.c_str(), l.c_str()));
+            }
+        };
+        if (!a.labels.empty())
+            checkLabels(a.labels, "");
+        for (const auto &ls : a.label_sets) {
+            if (!validName(ls.first))
+                specErr(origin, a.line,
+                        sformat("axis '%s': invalid label-set name "
+                                "'%s'", a.name.c_str(),
+                                ls.first.c_str()));
+            checkLabels(ls.second, ls.first);
+        }
+    }
+
+    for (std::size_t i = 0; i < spec.grids.size(); ++i) {
+        const SweepGrid &g = spec.grids[i];
+        if (!validName(g.name) || g.name == "base")
+            specErr(origin, g.line,
+                    sformat("invalid grid name '%s'", g.name.c_str()));
+        for (std::size_t j = i + 1; j < spec.grids.size(); ++j) {
+            if (spec.grids[j].name == g.name)
+                specErr(origin, spec.grids[j].line,
+                        sformat("duplicate grid '%s'", g.name.c_str()));
+        }
+        if (spec.findAxis(g.name) != nullptr)
+            specErr(origin, g.line,
+                    sformat("grid '%s' collides with an axis name",
+                            g.name.c_str()));
+        if (g.point.empty())
+            specErr(origin, g.line,
+                    sformat("grid '%s' has no point template",
+                            g.name.c_str()));
+        for (std::size_t ai = 0; ai < g.axes.size(); ++ai) {
+            if (spec.findAxis(g.axes[ai]) == nullptr)
+                specErr(origin, g.line,
+                        sformat("grid '%s': unknown axis '%s'",
+                                g.name.c_str(), g.axes[ai].c_str()));
+            for (std::size_t aj = ai + 1; aj < g.axes.size(); ++aj) {
+                if (g.axes[aj] == g.axes[ai])
+                    specErr(origin, g.line,
+                            sformat("grid '%s': duplicate axis '%s'",
+                                    g.name.c_str(), g.axes[ai].c_str()));
+            }
+        }
+        checkMetricList(g.metrics);
+        if (spec.record == SweepRecordView::Select &&
+            g.metrics.empty() && spec.metrics.empty())
+            specErr(origin, g.line,
+                    sformat("grid '%s': record=select needs metric "
+                            "lines (sweep-level or per-grid)",
+                            g.name.c_str()));
+    }
+    if (spec.grids.empty())
+        specErr(origin, 0, "sweep has no grids");
+
+    // Resolving every point validates axis keys, set lines, and
+    // name-template placeholders with their declaring lines — before
+    // any simulation runs, so a bad sweep (or a bad --set override)
+    // can never discard a finished run at render time.
+    const std::vector<SweepPoint> points =
+        expandSweepSpec(spec, origin);
+
+    // Output elements.
+    auto checkBinds =
+        [&](const std::vector<std::pair<std::string, std::string>> &bs,
+            const SweepGrid &g, unsigned line) {
+            for (const auto &[axis, value] : bs) {
+                const SweepAxis *a = spec.findAxis(axis);
+                if (a == nullptr)
+                    specErr(origin, line,
+                            sformat("unknown axis '%s' in binding",
+                                    axis.c_str()));
+                bool in_grid = false;
+                for (const std::string &ga : g.axes)
+                    in_grid = in_grid || ga == axis;
+                if (!in_grid)
+                    specErr(origin, line,
+                            sformat("axis '%s' is not an axis of grid "
+                                    "'%s'", axis.c_str(),
+                                    g.name.c_str()));
+                if (a->indexOf(value) == std::string::npos)
+                    specErr(origin, line,
+                            sformat("axis '%s' has no value '%s'",
+                                    axis.c_str(), value.c_str()));
+            }
+        };
+
+    for (const SweepOutput &o : spec.outputs) {
+        if (o.kind == SweepOutput::Kind::Text)
+            continue;
+        if (o.kind == SweepOutput::Kind::Note) {
+            if (o.point.empty() || o.text.empty())
+                specErr(origin, o.line,
+                        "note needs note_point and note_text");
+            const SweepGrid *note_grid = nullptr;
+            for (const SweepPoint &p : points) {
+                if (p.name == o.point) {
+                    note_grid = p.grid;
+                    break;
+                }
+            }
+            if (note_grid == nullptr)
+                specErr(origin, o.line,
+                        sformat("note: no point named '%s'",
+                                o.point.c_str()));
+            // Placeholders: {metric:digits}, keys of the point's view.
+            for (std::size_t i = 0; i < o.text.size(); ++i) {
+                if (o.text[i] != '{')
+                    continue;
+                const std::size_t close = o.text.find('}', i);
+                if (close == std::string::npos)
+                    specErr(origin, o.line, "unterminated '{' in note");
+                const std::string ref =
+                    o.text.substr(i + 1, close - i - 1);
+                const std::size_t colon = ref.find(':');
+                std::uint64_t digits = 0;
+                if (colon == std::string::npos ||
+                    !parseU64(ref.substr(colon + 1), digits) ||
+                    digits > 17)
+                    specErr(origin, o.line,
+                            sformat("bad note placeholder '{%s}' "
+                                    "(want {metric:digits})",
+                                    ref.c_str()));
+                const std::string key = ref.substr(0, colon);
+                if (!sweepRecordHasKey(spec, *note_grid, key))
+                    specErr(origin, o.line,
+                            sformat("note: no metric '%s' in the "
+                                    "records of grid '%s'",
+                                    key.c_str(),
+                                    note_grid->name.c_str()));
+                i = close;
+            }
+            continue;
+        }
+        if (o.kind == SweepOutput::Kind::WorkloadTable) {
+            const SweepWorkloadTable &w = o.wtable;
+            if (spec.record != SweepRecordView::Scenario)
+                specErr(origin, o.line,
+                        "workload_table needs record = scenario");
+            const SweepGrid *g = spec.findGrid(w.grid);
+            if (g == nullptr)
+                specErr(origin, o.line,
+                        sformat("workload_table: unknown grid '%s'",
+                                w.grid.c_str()));
+            checkBinds(w.fix, *g, o.line);
+            const SweepAxis *sa = spec.findAxis(w.scheme_axis);
+            if (sa == nullptr)
+                specErr(origin, o.line,
+                        sformat("workload_table: unknown scheme axis "
+                                "'%s'", w.scheme_axis.c_str()));
+            auto checkValue = [&](const std::string &v,
+                                  const char *what) {
+                if (!v.empty() &&
+                    sa->indexOf(v) == std::string::npos)
+                    specErr(origin, o.line,
+                            sformat("workload_table: %s '%s' is not a "
+                                    "value of axis '%s'", what,
+                                    v.c_str(), sa->name.c_str()));
+            };
+            if (w.baseline.empty())
+                specErr(origin, o.line,
+                        "workload_table needs wt_baseline");
+            checkValue(w.baseline, "baseline");
+            if (w.columns.empty())
+                specErr(origin, o.line,
+                        "workload_table needs wt_columns");
+            for (const std::string &c : w.columns)
+                checkValue(c, "column");
+            checkValue(w.star, "star");
+            checkValue(w.hit, "hit");
+            const std::size_t want =
+                2 + w.columns.size() + (w.hit.empty() ? 0 : 1);
+            if (w.headers.size() != want)
+                specErr(origin, o.line,
+                        sformat("workload_table: %zu headers for %zu "
+                                "columns", w.headers.size(), want));
+            if (!w.agg_headers.empty() &&
+                w.agg_headers.size() != 1 + w.columns.size())
+                specErr(origin, o.line,
+                        sformat("workload_table: %zu agg headers for "
+                                "%zu columns", w.agg_headers.size(),
+                                1 + w.columns.size()));
+            continue;
+        }
+        // Table.
+        const SweepTableSpec &t = o.table;
+        if (t.headers.empty())
+            specErr(origin, o.line, "table has no headers");
+        const SweepGrid *ref_grid = nullptr;
+        if (!t.ref_grid.empty()) {
+            ref_grid = spec.findGrid(t.ref_grid);
+            if (ref_grid == nullptr)
+                specErr(origin, o.line,
+                        sformat("table ref: unknown grid '%s'",
+                                t.ref_grid.c_str()));
+            checkBinds(t.ref, *ref_grid, o.line);
+            for (const std::string &ga : ref_grid->axes) {
+                bool bound = false;
+                for (const auto &[axis, value] : t.ref)
+                    bound = bound || axis == ga;
+                if (!bound)
+                    specErr(origin, o.line,
+                            sformat("table ref: axis '%s' of grid "
+                                    "'%s' unbound", ga.c_str(),
+                                    ref_grid->name.c_str()));
+            }
+        }
+        if (t.blocks.empty())
+            specErr(origin, o.line, "table has no row blocks");
+        for (const SweepRowBlock &b : t.blocks) {
+            const SweepGrid *g = spec.findGrid(b.grid);
+            if (g == nullptr)
+                specErr(origin, b.line,
+                        sformat("block: unknown grid '%s'",
+                                b.grid.c_str()));
+            for (const std::string &axis : b.axes) {
+                bool in_grid = false;
+                for (const std::string &ga : g->axes)
+                    in_grid = in_grid || ga == axis;
+                if (!in_grid)
+                    specErr(origin, b.line,
+                            sformat("block: '%s' is not an axis of "
+                                    "grid '%s'", axis.c_str(),
+                                    g->name.c_str()));
+            }
+            checkBinds(b.fix, *g, b.line);
+            if (b.cells.size() != t.headers.size())
+                specErr(origin, b.line,
+                        sformat("block has %zu cells for %zu headers",
+                                b.cells.size(), t.headers.size()));
+            for (const SweepCellSpec &c : b.cells) {
+                checkBinds(c.bind, *g, c.line);
+                if ((c.op == "rel" || c.op == "agg") &&
+                    t.ref_grid.empty())
+                    specErr(origin, c.line,
+                            sformat("cell: %s needs a table ref",
+                                    c.op.c_str()));
+                if (c.op == "agg" &&
+                    spec.record != SweepRecordView::Scenario)
+                    specErr(origin, c.line,
+                            "cell: agg needs record = scenario");
+                if (c.op == "text") {
+                    // Dry-run the substitution with the row's
+                    // bindings (fix values, first value of each
+                    // varying axis): unknown axes, unbound axes, and
+                    // missing label sets reject here, not after the
+                    // whole sweep has run.
+                    SweepBinding binding;
+                    for (const auto &[axis, value] : b.fix)
+                        binding.emplace_back(
+                            axis, spec.findAxis(axis)->indexOf(value));
+                    for (const std::string &axis : b.axes)
+                        binding.emplace_back(axis, 0);
+                    sweepSubstitute(spec, c.arg, binding, origin,
+                                    c.line);
+                }
+                if (c.op == "num" || c.op == "pct" || c.op == "rel") {
+                    if (!sweepRecordHasKey(spec, *g, c.arg))
+                        specErr(origin, c.line,
+                                sformat("cell: no metric '%s' in the "
+                                        "records of grid '%s'",
+                                        c.arg.c_str(),
+                                        g->name.c_str()));
+                    if (c.op == "rel" && ref_grid != nullptr &&
+                        !sweepRecordHasKey(spec, *ref_grid, c.arg))
+                        specErr(origin, c.line,
+                                sformat("cell: no metric '%s' in the "
+                                        "reference grid '%s'",
+                                        c.arg.c_str(),
+                                        ref_grid->name.c_str()));
+                }
+                if (c.op == "num" || c.op == "pct" || c.op == "rel") {
+                    // Every axis of the block's grid must be bound by
+                    // the row (block axes + fix) or the cell itself.
+                    for (const std::string &ga : g->axes) {
+                        bool bound = false;
+                        for (const std::string &ba : b.axes)
+                            bound = bound || ba == ga;
+                        for (const auto &[axis, value] : b.fix)
+                            bound = bound || axis == ga;
+                        for (const auto &[axis, value] : c.bind)
+                            bound = bound || axis == ga;
+                        if (!bound)
+                            specErr(origin, c.line,
+                                    sformat("cell: axis '%s' of grid "
+                                            "'%s' unbound",
+                                            ga.c_str(),
+                                            g->name.c_str()));
+                    }
+                }
+            }
+        }
+    }
+
+}
+
+SweepSpec
+parseSweepSpec(const std::string &text, const std::string &origin)
+{
+    SweepSpec spec;
+    spec.base.windows = Windows{250 * kMsec, 100 * kMsec};
+
+    SweepOutput *cur_out = nullptr;
+    SweepRowBlock *cur_block = nullptr;
+
+    auto curTable = [&](unsigned line) -> SweepTableSpec & {
+        if (cur_out == nullptr ||
+            cur_out->kind != SweepOutput::Kind::Table)
+            specErr(origin, line, "no open table ('out = table' first)");
+        return cur_out->table;
+    };
+    auto curWt = [&](unsigned line) -> SweepWorkloadTable & {
+        if (cur_out == nullptr ||
+            cur_out->kind != SweepOutput::Kind::WorkloadTable)
+            specErr(origin, line,
+                    "no open workload_table ('out = workload_table' "
+                    "first)");
+        return cur_out->wtable;
+    };
+    auto curNote = [&](unsigned line) -> SweepOutput & {
+        if (cur_out == nullptr ||
+            cur_out->kind != SweepOutput::Kind::Note)
+            specErr(origin, line, "no open note ('out = note' first)");
+        return *cur_out;
+    };
+
+    std::istringstream in(text);
+    std::string raw;
+    unsigned line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        const std::string s = trim(raw);
+        if (s.empty() || s[0] == '#')
+            continue;
+        const std::size_t eq = s.find('=');
+        if (eq == std::string::npos)
+            specErr(origin, line,
+                    sformat("expected 'key = value', got '%s'",
+                            s.c_str()));
+        const std::string key = trim(s.substr(0, eq));
+        const std::string value = trim(s.substr(eq + 1));
+        if (key.empty())
+            specErr(origin, line, "empty key");
+        if (value.empty())
+            specErr(origin, line,
+                    sformat("empty value for '%s'", key.c_str()));
+
+        // ---- bare keys ---------------------------------------------
+        if (key == "sweep") {
+            spec.name = value;
+            continue;
+        }
+        if (key == "record") {
+            if (!viewFromName(value, spec.record))
+                specErr(origin, line,
+                        sformat("unknown record view '%s' (want spec, "
+                                "micro, scenario, or select)",
+                                value.c_str()));
+            continue;
+        }
+        if (key == "scenario") {
+            applySweepAssignment(spec.base, "scenario", value, origin,
+                                 line);
+            continue;
+        }
+        if (key == "metric") {
+            const std::size_t colon = value.find(':');
+            if (colon == std::string::npos)
+                specErr(origin, line,
+                        "metric wants '<key>: <expression>'");
+            spec.metrics.push_back(SpecKnob{trim(value.substr(0, colon)),
+                                            trim(value.substr(colon + 1)),
+                                            line});
+            continue;
+        }
+        if (key == "axis") {
+            SweepAxis a;
+            a.name = value;
+            a.line = line;
+            spec.axes.push_back(std::move(a));
+            continue;
+        }
+        if (key == "grid") {
+            SweepGrid g;
+            g.name = value;
+            g.line = line;
+            spec.grids.push_back(std::move(g));
+            continue;
+        }
+        if (key == "out") {
+            SweepOutput o;
+            o.line = line;
+            if (value.rfind("text ", 0) == 0) {
+                o.kind = SweepOutput::Kind::Text;
+                o.text = unescText(value.substr(5), origin, line);
+            } else if (value == "table") {
+                o.kind = SweepOutput::Kind::Table;
+            } else if (value == "workload_table") {
+                o.kind = SweepOutput::Kind::WorkloadTable;
+            } else if (value == "note") {
+                o.kind = SweepOutput::Kind::Note;
+            } else {
+                specErr(origin, line,
+                        sformat("unknown output '%s' (want 'text ...', "
+                                "table, workload_table, or note)",
+                                value.c_str()));
+            }
+            spec.outputs.push_back(std::move(o));
+            cur_out = &spec.outputs.back();
+            cur_block = nullptr;
+            continue;
+        }
+
+        // ---- table-context keys ------------------------------------
+        if (key == "headers") {
+            curTable(line).headers = splitList(value, '|');
+            continue;
+        }
+        if (key == "ref") {
+            SweepTableSpec &t = curTable(line);
+            const std::size_t sp = value.find(' ');
+            t.ref_grid = value.substr(0, sp);
+            t.ref = sp == std::string::npos
+                        ? std::vector<std::pair<std::string,
+                                                std::string>>{}
+                        : parseBinds(value.substr(sp + 1), origin, line);
+            continue;
+        }
+        if (key == "block") {
+            SweepTableSpec &t = curTable(line);
+            SweepRowBlock b;
+            b.grid = value;
+            b.line = line;
+            t.blocks.push_back(std::move(b));
+            cur_block = &t.blocks.back();
+            continue;
+        }
+        if (key == "axes" || key == "fix" || key == "cell") {
+            curTable(line);
+            if (cur_block == nullptr)
+                specErr(origin, line,
+                        sformat("'%s' outside a block ('block = "
+                                "<grid>' first)", key.c_str()));
+            if (key == "axes")
+                cur_block->axes = splitList(value, ',');
+            else if (key == "fix")
+                cur_block->fix = parseBinds(value, origin, line);
+            else
+                cur_block->cells.push_back(
+                    parseCell(value, origin, line));
+            continue;
+        }
+
+        // ---- workload_table keys -----------------------------------
+        if (key.rfind("wt_", 0) == 0) {
+            SweepWorkloadTable &w = curWt(line);
+            const std::string f = key.substr(3);
+            if (f == "grid")
+                w.grid = value;
+            else if (f == "fix")
+                w.fix = parseBinds(value, origin, line);
+            else if (f == "axis")
+                w.scheme_axis = value;
+            else if (f == "baseline")
+                w.baseline = value;
+            else if (f == "columns")
+                w.columns = splitList(value, ',');
+            else if (f == "star")
+                w.star = value;
+            else if (f == "hit")
+                w.hit = value;
+            else if (f == "title")
+                w.title = unescText(value, origin, line);
+            else if (f == "skip")
+                w.skip_text = unescText(value, origin, line);
+            else if (f == "headers")
+                w.headers = splitList(value, '|');
+            else if (f == "agg_headers")
+                w.agg_headers = splitList(value, '|');
+            else
+                specErr(origin, line,
+                        sformat("unknown workload_table key '%s'",
+                                key.c_str()));
+            continue;
+        }
+
+        // ---- note keys ---------------------------------------------
+        if (key == "note_point") {
+            curNote(line).point = value;
+            continue;
+        }
+        if (key == "note_text") {
+            curNote(line).text = unescText(value, origin, line);
+            continue;
+        }
+
+        // ---- dotted keys: base.* / <axis>.* / <grid>.* -------------
+        const std::size_t dot = key.find('.');
+        if (dot == std::string::npos || dot == 0 ||
+            dot + 1 >= key.size())
+            specErr(origin, line,
+                    sformat("unknown key '%s'", key.c_str()));
+        const std::string prefix = key.substr(0, dot);
+        const std::string sub = key.substr(dot + 1);
+
+        if (prefix == "base") {
+            applySweepAssignment(spec.base, sub, value, origin, line);
+            continue;
+        }
+        if (SweepAxis *a = spec.findAxis(prefix)) {
+            if (sub == "key") {
+                a->key = value;
+            } else if (sub == "values") {
+                a->values = splitList(value, ',');
+                a->range.clear();
+            } else if (sub == "range") {
+                a->values = expandRange(value, origin, line);
+                a->range = value;
+            } else if (sub == "labels") {
+                a->labels = splitList(value, ',');
+            } else if (sub.rfind("labels.", 0) == 0) {
+                const std::string set = sub.substr(7);
+                bool replaced = false;
+                for (auto &ls : a->label_sets) {
+                    if (ls.first == set) {
+                        ls.second = splitList(value, ',');
+                        replaced = true;
+                        break;
+                    }
+                }
+                if (!replaced)
+                    a->label_sets.emplace_back(set,
+                                               splitList(value, ','));
+            } else {
+                specErr(origin, line,
+                        sformat("unknown axis key '%s.%s' (want key, "
+                                "values, range, labels, or "
+                                "labels.<set>)", prefix.c_str(),
+                                sub.c_str()));
+            }
+            continue;
+        }
+        bool grid_found = false;
+        for (SweepGrid &g : spec.grids) {
+            if (g.name != prefix)
+                continue;
+            grid_found = true;
+            if (sub == "point") {
+                g.point = value;
+            } else if (sub == "axes") {
+                g.axes = splitList(value, ',');
+            } else if (sub == "set") {
+                const std::size_t seq = value.find('=');
+                if (seq == std::string::npos)
+                    specErr(origin, line,
+                            sformat("bad set '%s' (want key=value)",
+                                    value.c_str()));
+                g.sets.push_back(SpecKnob{trim(value.substr(0, seq)),
+                                          trim(value.substr(seq + 1)),
+                                          line});
+            } else if (sub == "metric") {
+                const std::size_t colon = value.find(':');
+                if (colon == std::string::npos)
+                    specErr(origin, line,
+                            "metric wants '<key>: <expression>'");
+                g.metrics.push_back(
+                    SpecKnob{trim(value.substr(0, colon)),
+                             trim(value.substr(colon + 1)), line});
+            } else {
+                specErr(origin, line,
+                        sformat("unknown grid key '%s.%s' (want "
+                                "point, axes, set, or metric)",
+                                prefix.c_str(), sub.c_str()));
+            }
+            break;
+        }
+        if (grid_found)
+            continue;
+        specErr(origin, line,
+                sformat("unknown prefix '%s' (declare 'axis = %s' or "
+                        "'grid = %s' first, or use base.*)",
+                        prefix.c_str(), prefix.c_str(),
+                        prefix.c_str()));
+    }
+
+    if (spec.name.empty())
+        specErr(origin, 0, "missing 'sweep = <name>'");
+    validateSweepSpec(spec, origin);
+    return spec;
+}
+
+SweepSpec
+loadSweepSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(sformat("cannot read sweep file '%s'", path.c_str()));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseSweepSpec(ss.str(), path);
+}
+
+std::string
+serializeSweepSpec(const SweepSpec &spec)
+{
+    std::ostringstream out;
+    out << "# a4 sweep spec\n";
+    out << "sweep = " << spec.name << "\n";
+    out << "record = " << viewName(spec.record) << "\n";
+
+    out << "\n";
+    {
+        std::istringstream base(serializeSpec(spec.base));
+        std::string l;
+        while (std::getline(base, l)) {
+            if (l.empty() || l[0] == '#')
+                continue;
+            out << "base." << l << "\n";
+        }
+    }
+
+    auto metricLines = [&out](const std::vector<SpecKnob> &metrics,
+                              const std::string &prefix) {
+        for (const SpecKnob &m : metrics)
+            out << prefix << "metric = " << m.key << ": " << m.value
+                << "\n";
+    };
+    if (!spec.metrics.empty()) {
+        out << "\n";
+        metricLines(spec.metrics, "");
+    }
+
+    auto joined = [](const std::vector<std::string> &v, char sep) {
+        std::string s;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                s += sep;
+            s += v[i];
+        }
+        return s;
+    };
+
+    for (const SweepAxis &a : spec.axes) {
+        out << "\naxis = " << a.name << "\n";
+        out << a.name << ".key = " << a.key << "\n";
+        if (!a.range.empty())
+            out << a.name << ".range = " << a.range << "\n";
+        else
+            out << a.name << ".values = " << joined(a.values, ',')
+                << "\n";
+        if (!a.labels.empty())
+            out << a.name << ".labels = " << joined(a.labels, ',')
+                << "\n";
+        for (const auto &ls : a.label_sets)
+            out << a.name << ".labels." << ls.first << " = "
+                << joined(ls.second, ',') << "\n";
+    }
+
+    for (const SweepGrid &g : spec.grids) {
+        out << "\ngrid = " << g.name << "\n";
+        out << g.name << ".point = " << g.point << "\n";
+        if (!g.axes.empty())
+            out << g.name << ".axes = " << joined(g.axes, ',') << "\n";
+        for (const SpecKnob &s : g.sets)
+            out << g.name << ".set = " << s.key << "=" << s.value
+                << "\n";
+        metricLines(g.metrics, g.name + ".");
+    }
+
+    for (const SweepOutput &o : spec.outputs) {
+        out << "\n";
+        switch (o.kind) {
+          case SweepOutput::Kind::Text:
+            out << "out = text " << escText(o.text) << "\n";
+            break;
+          case SweepOutput::Kind::Note:
+            out << "out = note\n";
+            out << "note_point = " << o.point << "\n";
+            out << "note_text = " << escText(o.text) << "\n";
+            break;
+          case SweepOutput::Kind::WorkloadTable: {
+            const SweepWorkloadTable &w = o.wtable;
+            out << "out = workload_table\n";
+            out << "wt_grid = " << w.grid << "\n";
+            if (!w.fix.empty())
+                out << "wt_fix = " << bindsText(w.fix) << "\n";
+            out << "wt_axis = " << w.scheme_axis << "\n";
+            out << "wt_baseline = " << w.baseline << "\n";
+            out << "wt_columns = " << joined(w.columns, ',') << "\n";
+            if (!w.star.empty())
+                out << "wt_star = " << w.star << "\n";
+            if (!w.hit.empty())
+                out << "wt_hit = " << w.hit << "\n";
+            if (!w.title.empty())
+                out << "wt_title = " << escText(w.title) << "\n";
+            if (!w.skip_text.empty())
+                out << "wt_skip = " << escText(w.skip_text) << "\n";
+            out << "wt_headers = " << joined(w.headers, '|') << "\n";
+            if (!w.agg_headers.empty())
+                out << "wt_agg_headers = " << joined(w.agg_headers, '|')
+                    << "\n";
+            break;
+          }
+          case SweepOutput::Kind::Table: {
+            const SweepTableSpec &t = o.table;
+            out << "out = table\n";
+            out << "headers = " << joined(t.headers, '|') << "\n";
+            if (!t.ref_grid.empty()) {
+                out << "ref = " << t.ref_grid;
+                if (!t.ref.empty())
+                    out << " " << bindsText(t.ref);
+                out << "\n";
+            }
+            for (const SweepRowBlock &b : t.blocks) {
+                out << "block = " << b.grid << "\n";
+                if (!b.axes.empty())
+                    out << "axes = " << joined(b.axes, ',') << "\n";
+                if (!b.fix.empty())
+                    out << "fix = " << bindsText(b.fix) << "\n";
+                for (const SweepCellSpec &c : b.cells)
+                    out << "cell = " << cellText(c) << "\n";
+            }
+            break;
+          }
+        }
+    }
+    return out.str();
+}
+
+void
+applySweepOverrides(SweepSpec &spec,
+                    const std::vector<std::string> &assignments,
+                    const std::string &origin)
+{
+    for (const std::string &assignment : assignments) {
+        const std::size_t eq = assignment.find('=');
+        if (eq == std::string::npos)
+            fatal(sformat("%s: expected 'key=value', got '%s'",
+                          origin.c_str(), assignment.c_str()));
+        const std::string key = trim(assignment.substr(0, eq));
+        const std::string value = trim(assignment.substr(eq + 1));
+        if (key.empty() || value.empty())
+            fatal(sformat("%s: expected 'key=value', got '%s'",
+                          origin.c_str(), assignment.c_str()));
+
+        if (key == "record") {
+            if (!viewFromName(value, spec.record))
+                fatal(sformat("%s: unknown record view '%s'",
+                              origin.c_str(), value.c_str()));
+            continue;
+        }
+        if (key == "scenario") {
+            applySweepAssignment(spec.base, "scenario", value, origin,
+                                 0);
+            continue;
+        }
+        const std::size_t dot = key.find('.');
+        if (dot == std::string::npos || dot == 0 ||
+            dot + 1 >= key.size())
+            fatal(sformat("%s: unknown sweep key '%s' (want record, "
+                          "scenario, base.*, or <axis>.*)",
+                          origin.c_str(), key.c_str()));
+        const std::string prefix = key.substr(0, dot);
+        const std::string sub = key.substr(dot + 1);
+        if (prefix == "base") {
+            applySweepAssignment(spec.base, sub, value, origin, 0);
+            continue;
+        }
+        SweepAxis *a = spec.findAxis(prefix);
+        if (a == nullptr)
+            fatal(sformat("%s: unknown axis '%s' in '%s'",
+                          origin.c_str(), prefix.c_str(), key.c_str()));
+        if (sub == "key") {
+            a->key = value;
+        } else if (sub == "values") {
+            a->values = splitList(value, ',');
+            a->range.clear();
+            // Redefined values invalidate any parallel label lists;
+            // names fall back to the values unless labels are also
+            // overridden in the same batch.
+            if (a->labels.size() != a->values.size())
+                a->labels.clear();
+            for (auto it = a->label_sets.begin();
+                 it != a->label_sets.end();) {
+                if (it->second.size() != a->values.size())
+                    it = a->label_sets.erase(it);
+                else
+                    ++it;
+            }
+        } else if (sub == "range") {
+            a->values = expandRange(value, origin, 0);
+            a->range = value;
+            a->labels.clear();
+            a->label_sets.clear();
+        } else if (sub == "labels") {
+            a->labels = splitList(value, ',');
+        } else if (sub.rfind("labels.", 0) == 0) {
+            const std::string set = sub.substr(7);
+            bool replaced = false;
+            for (auto &ls : a->label_sets) {
+                if (ls.first == set) {
+                    ls.second = splitList(value, ',');
+                    replaced = true;
+                    break;
+                }
+            }
+            if (!replaced)
+                a->label_sets.emplace_back(set, splitList(value, ','));
+        } else {
+            fatal(sformat("%s: unknown axis key '%s' (want key, "
+                          "values, range, labels, or labels.<set>)",
+                          origin.c_str(), key.c_str()));
+        }
+    }
+    validateSweepSpec(spec, origin);
 }
 
 } // namespace a4

@@ -63,6 +63,10 @@ struct WorkloadSpec
     std::string kind; ///< factory-registry key
     bool hpw = false; ///< QoS class (High vs Low priority)
 
+    /** Per-port DCA: false disables DDIO for this workload's device
+     *  port (the Fig. 8 SSD-DCA-off knob; I/O kinds only). */
+    bool dca = true;
+
     /** Construction rank (core/port/address allocation order);
      *  negative = the entry's list position. */
     int build = -1;
@@ -99,6 +103,13 @@ struct ScenarioSpec
 {
     std::string name; ///< registry name ("" = ad hoc)
     Scheme scheme = Scheme::Default;
+
+    /** Global (BIOS) DCA enable — the Fig. 4/5/6 knob. */
+    bool bios_dca = true;
+
+    /** LLC replacement policy: "" (hardware default = lru), "lru",
+     *  or "srrip" (the replacement-policy ablation). */
+    std::string replacement;
 
     /** Nominal windows; runSpec() adjusts them by the environment
      *  knobs (A4_TEST_DURATION_SCALE / A4_BENCH_WINDOWS_MS) exactly
@@ -177,7 +188,11 @@ struct SpecWorkloadResult
     double perf = 0.0;         ///< inverse latency (mt-I/O) or IPC
     double ipc = 0.0;
     double llc_hit_rate = 0.0;
+    double llc_miss_rate = 0.0;
+    double mpa = 0.0;          ///< LLC misses per MLC access (Fig. 3)
+    double dca_leak = 0.0;     ///< DMA-written lines evicted unconsumed
     double tail_latency_us = 0.0; ///< p99, I/O workloads only
+    double lat_mean_ns = 0.0;  ///< mean per-op latency (raw ns)
 
     /** Raw PCIe port byte counts over the measure window (exact
      *  integers; convert with the window/scale in SpecResult). */
@@ -251,6 +266,212 @@ ScenarioSpec microSpec(unsigned packet_bytes,
                        std::uint64_t storage_block);
 /** Table-2 real-world mix (HPW-heavy or LPW-heavy). */
 ScenarioSpec realWorldSpec(bool hpw_heavy);
+/** @} */
+
+// --------------------------------------------------------------------
+// SweepSpec: a declarative grid sweep over a base ScenarioSpec
+//
+// A SweepSpec is what a figure bench *is*: a base scenario, named
+// axes (each axis = one `--set`-style override key with a value list
+// or numeric range), one or more grids (a point-name template over a
+// subset of the axes plus fixed overrides), a record view selecting
+// how each point's SpecResult becomes a sweep Record, and a list of
+// declarative output elements (section text, tables with
+// normalise-to-reference / perf-degradation aggregate cells, the
+// per-workload Fig. 13 table, conditional notes) that render the
+// collected Records. Like ScenarioSpec it round-trips a line-based
+// text form bit-exactly and rejects bad input naming origin:line; see
+// docs/SCENARIOS.md for the grammar.
+
+/** One sweep axis: an override key swept over values. */
+struct SweepAxis
+{
+    std::string name;
+    std::string key; ///< spec-override key ("scheme", "fio.block_bytes",
+                     ///< "dca", ... or "scenario" to swap the base)
+    std::vector<std::string> values; ///< exact override value texts
+    std::string range; ///< "lo:hi:step" origin text ("" = explicit list)
+
+    /** Point-name labels, parallel to values (empty = the values). */
+    std::vector<std::string> labels;
+
+    /** Named display-label sets for table cells ({axis:set}). */
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        label_sets;
+
+    unsigned line = 0;
+
+    /** Label of @p index in @p set ("" = point-name labels). */
+    const std::string &label(std::size_t index,
+                             const std::string &set = "") const;
+
+    /** Index of @p value; npos when absent. */
+    std::size_t indexOf(const std::string &value) const;
+};
+
+/** One grid of a sweep: a point-name template over some axes. */
+struct SweepGrid
+{
+    std::string name;
+    std::string point; ///< name template, {axis} = point-name label
+    std::vector<std::string> axes; ///< outermost first
+    /** Fixed overrides applied (in order, after the base resolves)
+     *  to every point of this grid; each one spec-override line. */
+    std::vector<SpecKnob> sets;
+    /** record=select projection for this grid (empty = sweep-level). */
+    std::vector<SpecKnob> metrics; ///< key = output key, value = expr
+    unsigned line = 0;
+};
+
+/** A cell of a declarative table row. */
+struct SweepCellSpec
+{
+    std::string op;  ///< text | num | pct | rel | agg
+    std::string arg; ///< template (text), metric key, or hp|lp|all
+    int digits = -1; ///< -1 = the op's default (num/rel 2, pct 1)
+    /** Extra axis=value bindings locating the cell's point. */
+    std::vector<std::pair<std::string, std::string>> bind;
+    unsigned line = 0;
+};
+
+/** A run of table rows: one row per tuple of @p axes. */
+struct SweepRowBlock
+{
+    std::string grid;
+    std::vector<std::string> axes; ///< varying (empty = single row)
+    std::vector<std::pair<std::string, std::string>> fix;
+    std::vector<SweepCellSpec> cells;
+    unsigned line = 0;
+};
+
+/** A declarative table: headers + row blocks (+ reference point). */
+struct SweepTableSpec
+{
+    std::vector<std::string> headers;
+    std::vector<SweepRowBlock> blocks;
+    /** Reference point for rel/agg cells ("" = none). */
+    std::string ref_grid;
+    std::vector<std::pair<std::string, std::string>> ref;
+};
+
+/** The Fig. 13-shaped per-workload table (scenario records). */
+struct SweepWorkloadTable
+{
+    std::string grid;
+    std::vector<std::pair<std::string, std::string>> fix;
+    std::string scheme_axis;     ///< axis providing the columns
+    std::string baseline;        ///< axis value of the baseline
+    std::vector<std::string> columns; ///< axis values, display order
+    std::string star; ///< axis value whose antagonist flags mark '*'
+    std::string hit;  ///< axis value of the hit column ("" = none)
+    std::string title;     ///< printed above the table (raw bytes)
+    std::string skip_text; ///< printed when the baseline was filtered
+    std::vector<std::string> headers;
+    std::vector<std::string> agg_headers; ///< empty = no aggregate
+};
+
+/** One output element, rendered in declaration order. */
+struct SweepOutput
+{
+    enum class Kind { Text, Table, WorkloadTable, Note };
+    Kind kind = Kind::Text;
+    std::string text;  ///< Text: raw bytes; Note: {key:digits} template
+    std::string point; ///< Note: required point name
+    SweepTableSpec table;
+    SweepWorkloadTable wtable;
+    unsigned line = 0;
+};
+
+/** How a point's SpecResult becomes its sweep Record. */
+enum class SweepRecordView { Spec, Micro, Scenario, Select };
+
+/** A complete declarative grid sweep. */
+struct SweepSpec
+{
+    std::string name;
+    ScenarioSpec base;
+    SweepRecordView record = SweepRecordView::Spec;
+    std::vector<SweepAxis> axes;
+    std::vector<SweepGrid> grids;
+    /** record=select projection (sweep-level default). */
+    std::vector<SpecKnob> metrics;
+    std::vector<SweepOutput> outputs;
+
+    SweepAxis *findAxis(const std::string &name);
+    const SweepAxis *findAxis(const std::string &name) const;
+    const SweepGrid *findGrid(const std::string &name) const;
+
+    /** Expanded point count across all grids. */
+    std::size_t pointCount() const;
+};
+
+/** Parse the sweep text form (fatal naming origin:line on errors). */
+SweepSpec parseSweepSpec(const std::string &text,
+                         const std::string &origin = "<sweep>");
+
+/** parseSweepSpec() over a file's contents. */
+SweepSpec loadSweepSpecFile(const std::string &path);
+
+/** Canonical text; parseSweepSpec(serializeSweepSpec(s)) == s. */
+std::string serializeSweepSpec(const SweepSpec &spec);
+
+/**
+ * Apply `--set` overrides to a sweep: `base.<spec line>` edits the
+ * base scenario, `<axis>.values=` / `<axis>.labels=` / `<axis>.key=`
+ * / `<axis>.range=` redefine an axis, `record=` the view. The batch
+ * applies before the sweep revalidates. Fatal (naming @p origin) on
+ * unknown targets or malformed values.
+ */
+void applySweepOverrides(SweepSpec &spec,
+                         const std::vector<std::string> &assignments,
+                         const std::string &origin = "--set");
+
+/** Structural validation (also run by parse/apply); fatal naming
+ *  @p origin on the first inconsistency. Resolves every point spec,
+ *  so unknown axis keys and malformed override values are rejected
+ *  here (with the declaring line), not at run time. */
+void validateSweepSpec(const SweepSpec &spec, const std::string &origin);
+
+/** Axis-name -> value-index bindings locating one grid point. */
+using SweepBinding = std::vector<std::pair<std::string, std::size_t>>;
+
+/** One expanded grid point: resolved name + scenario. */
+struct SweepPoint
+{
+    const SweepGrid *grid = nullptr;
+    SweepBinding binding; ///< one entry per grid axis, axes order
+    std::string name;
+    ScenarioSpec spec;
+};
+
+/** Expand every grid into its points, in declaration order (grids
+ *  first, then the cartesian product with axes[0] outermost). */
+std::vector<SweepPoint> expandSweepSpec(const SweepSpec &spec,
+                                        const std::string &origin);
+
+/** Point name for @p binding (must bind every grid axis). */
+std::string sweepPointName(const SweepSpec &spec, const SweepGrid &grid,
+                           const SweepBinding &binding,
+                           const std::string &origin);
+
+/** Substitute {axis} / {axis:label-set} placeholders in @p tmpl. */
+std::string sweepSubstitute(const SweepSpec &spec, const std::string &tmpl,
+                            const SweepBinding &binding,
+                            const std::string &origin, unsigned line);
+
+/** Evaluate a record=select metric expression ("sys.<field>" or
+ *  "<workload>.<field>"; absent workloads read 0). */
+double evalSweepMetric(const SpecResult &r, const std::string &expr);
+
+/** True when @p expr names a known metric field. */
+bool validSweepMetricExpr(const std::string &expr);
+
+/** @name MicroResult / ScenarioResult views of a SpecResult.
+ *  Exactly the historical runMicroScenario / runRealWorldScenario
+ *  restatements (bit-identical arithmetic); the workload names must
+ *  match the canonical micro / realworld specs. @{ */
+MicroResult microResultFromSpec(const SpecResult &sr);
+ScenarioResult scenarioResultFromSpec(const SpecResult &sr);
 /** @} */
 
 } // namespace a4

@@ -7,12 +7,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include "harness/experiment.hh"
 #include "harness/jobpool.hh"
+#include "harness/spec.hh"
+#include "harness/table.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 
 namespace a4
 {
@@ -522,6 +526,375 @@ Sweep::finish() const
     if (!opt_.json_path.empty())
         writeJson(opt_.json_path);
     return 0;
+}
+
+// --------------------------------------------------------------------
+// Declarative sweeps
+
+void
+expandSweep(const SweepSpec &spec, Sweep &sw)
+{
+    const std::string origin =
+        spec.name.empty() ? "<sweep>" : spec.name;
+    for (SweepPoint &p : expandSweepSpec(spec, origin)) {
+        const SweepRecordView view = spec.record;
+        const std::vector<SpecKnob> metrics =
+            p.grid->metrics.empty() ? spec.metrics : p.grid->metrics;
+        const ScenarioSpec point_spec = std::move(p.spec);
+        sw.add(p.name, [point_spec, view, metrics] {
+            SpecResult r = runSpec(point_spec);
+            switch (view) {
+              case SweepRecordView::Micro:
+                return toRecord(microResultFromSpec(r));
+              case SweepRecordView::Scenario:
+                return toRecord(scenarioResultFromSpec(r));
+              case SweepRecordView::Select: {
+                Record rec;
+                for (const SpecKnob &m : metrics)
+                    rec.set(m.key, evalSweepMetric(r, m.value));
+                rec.set("past_events", r.past_events);
+                return rec;
+              }
+              case SweepRecordView::Spec:
+                break;
+            }
+            return toRecord(r);
+        });
+    }
+}
+
+namespace
+{
+
+/** Set (or override) one axis binding. */
+void
+bindSet(SweepBinding &binding, const std::string &axis, std::size_t idx)
+{
+    for (auto &e : binding) {
+        if (e.first == axis) {
+            e.second = idx;
+            return;
+        }
+    }
+    binding.emplace_back(axis, idx);
+}
+
+/** Bindings from "axis=value" pairs (values validated earlier). */
+void
+bindPairs(const SweepSpec &spec, SweepBinding &binding,
+          const std::vector<std::pair<std::string, std::string>> &pairs)
+{
+    for (const auto &[axis, value] : pairs)
+        bindSet(binding, axis, spec.findAxis(axis)->indexOf(value));
+}
+
+/** The Record of the point at @p binding (null when filtered out). */
+const Record *
+pointRecord(const SweepSpec &spec, const Sweep &sw, const SweepGrid &g,
+            const SweepBinding &binding, const std::string &origin)
+{
+    return sw.find(sweepPointName(spec, g, binding, origin));
+}
+
+/** Evaluate one cell; returns the text and whether the cell's own
+ *  point was found (rows with no found point-cell are skipped, the
+ *  sweep-wide --filter contract). */
+std::pair<std::string, bool>
+evalCell(const SweepSpec &spec, const Sweep &sw, const SweepGrid &g,
+         const SweepBinding &row, const SweepCellSpec &cell,
+         const Record *ref_rec, const std::string &origin)
+{
+    if (cell.op == "text") {
+        return {sweepSubstitute(spec, cell.arg, row, origin, cell.line),
+                false};
+    }
+    SweepBinding binding = row;
+    bindPairs(spec, binding, cell.bind);
+    const Record *rec = pointRecord(spec, sw, g, binding, origin);
+    const bool found = rec != nullptr;
+    if (cell.op == "num") {
+        return {Table::num(rec, cell.arg,
+                           cell.digits < 0 ? 2 : cell.digits),
+                found};
+    }
+    if (cell.op == "pct") {
+        return {rec ? Table::pct(rec->num(cell.arg),
+                                 cell.digits < 0 ? 1 : cell.digits)
+                    : std::string("-"),
+                found};
+    }
+    if (cell.op == "rel") {
+        if (rec == nullptr || ref_rec == nullptr)
+            return {"-", found};
+        return {Table::num(ratio(rec->num(cell.arg),
+                                 ref_rec->num(cell.arg)),
+                           cell.digits < 0 ? 2 : cell.digits),
+                found};
+    }
+    // agg: geometric-mean relative performance vs the table ref.
+    if (rec == nullptr || ref_rec == nullptr)
+        return {"-", found};
+    const ScenarioResult cur = scenarioResultFrom(*rec);
+    const ScenarioResult base = scenarioResultFrom(*ref_rec);
+    const std::optional<bool> filter =
+        cell.arg == "hp"
+            ? std::optional<bool>(true)
+            : cell.arg == "lp" ? std::optional<bool>(false)
+                               : std::nullopt;
+    return {Table::num(ScenarioResult::avgRelative(cur, base, filter),
+                       cell.digits < 0 ? 2 : cell.digits),
+            found};
+}
+
+void
+renderTable(const SweepSpec &spec, const Sweep &sw,
+            const SweepOutput &o, const std::string &origin)
+{
+    const SweepTableSpec &t = o.table;
+    const Record *ref_rec = nullptr;
+    if (!t.ref_grid.empty()) {
+        const SweepGrid *rg = spec.findGrid(t.ref_grid);
+        SweepBinding b;
+        bindPairs(spec, b, t.ref);
+        ref_rec = pointRecord(spec, sw, *rg, b, origin);
+    }
+
+    Table table(t.headers);
+    for (const SweepRowBlock &block : t.blocks) {
+        const SweepGrid &g = *spec.findGrid(block.grid);
+        std::vector<const SweepAxis *> axes;
+        for (const std::string &name : block.axes)
+            axes.push_back(spec.findAxis(name));
+        std::vector<std::size_t> idx(axes.size(), 0);
+        while (true) {
+            SweepBinding row;
+            bindPairs(spec, row, block.fix);
+            for (std::size_t i = 0; i < axes.size(); ++i)
+                bindSet(row, axes[i]->name, idx[i]);
+
+            std::vector<std::string> cells;
+            bool any_found = false;
+            for (const SweepCellSpec &cell : block.cells) {
+                auto [text, found] = evalCell(spec, sw, g, row, cell,
+                                              ref_rec, origin);
+                cells.push_back(std::move(text));
+                any_found = any_found || found;
+            }
+            if (any_found)
+                table.addRow(std::move(cells));
+
+            bool done = true;
+            for (std::size_t i = axes.size(); i-- > 0;) {
+                if (++idx[i] < axes[i]->values.size()) {
+                    done = false;
+                    break;
+                }
+                idx[i] = 0;
+            }
+            if (done)
+                break;
+        }
+    }
+    table.print();
+}
+
+void
+renderWorkloadTable(const SweepSpec &spec, const Sweep &sw,
+                    const SweepOutput &o, const std::string &origin)
+{
+    const SweepWorkloadTable &w = o.wtable;
+    const SweepGrid &g = *spec.findGrid(w.grid);
+    const SweepAxis &sa = *spec.findAxis(w.scheme_axis);
+
+    auto resultFor =
+        [&](const std::string &value) -> std::optional<ScenarioResult> {
+        SweepBinding b;
+        bindPairs(spec, b, w.fix);
+        bindSet(b, sa.name, sa.indexOf(value));
+        if (const Record *rec = pointRecord(spec, sw, g, b, origin))
+            return scenarioResultFrom(*rec);
+        return std::nullopt;
+    };
+
+    std::vector<std::string> wanted{w.baseline};
+    auto want = [&](const std::string &v) {
+        if (v.empty())
+            return;
+        for (const std::string &have : wanted) {
+            if (have == v)
+                return;
+        }
+        wanted.push_back(v);
+    };
+    for (const std::string &c : w.columns)
+        want(c);
+    want(w.star);
+    want(w.hit);
+
+    std::vector<std::pair<std::string, std::optional<ScenarioResult>>>
+        results;
+    for (const std::string &v : wanted)
+        results.emplace_back(v, resultFor(v));
+    auto lookup = [&](const std::string &v)
+        -> const std::optional<ScenarioResult> & {
+        for (const auto &[name, r] : results) {
+            if (name == v)
+                return r;
+        }
+        static const std::optional<ScenarioResult> none;
+        return none;
+    };
+
+    if (!lookup(w.baseline)) {
+        // Every column is relative to the baseline; without it the
+        // table is unprintable — but say so when other points did
+        // run, instead of silently dropping their results.
+        for (const auto &[name, r] : results) {
+            if (r) {
+                std::fputs(w.skip_text.c_str(), stdout);
+                break;
+            }
+        }
+        return;
+    }
+    const ScenarioResult &base = *lookup(w.baseline);
+
+    if (!w.title.empty())
+        std::fputs(w.title.c_str(), stdout);
+    Table t(w.headers);
+    for (const auto &wl : base.workloads) {
+        auto rel = [&](const std::string &col) {
+            const std::optional<ScenarioResult> &r = lookup(col);
+            if (!r)
+                return std::string("-");
+            const WorkloadResult *res = r->find(wl.name);
+            return Table::num(ratio(res ? res->perf : 0.0, wl.perf));
+        };
+        const WorkloadResult *d = nullptr;
+        if (!w.star.empty() && lookup(w.star))
+            d = lookup(w.star)->find(wl.name);
+        std::vector<std::string> cells{
+            wl.name + (d != nullptr && d->antagonist ? "*" : ""),
+            wl.hpw ? "HP" : "LP"};
+        for (const std::string &col : w.columns)
+            cells.push_back(rel(col));
+        if (!w.hit.empty()) {
+            const WorkloadResult *h =
+                lookup(w.hit) ? lookup(w.hit)->find(wl.name) : nullptr;
+            cells.push_back(h != nullptr ? Table::pct(h->llc_hit_rate)
+                                         : std::string("-"));
+        }
+        t.addRow(std::move(cells));
+    }
+    t.print();
+
+    if (w.agg_headers.empty())
+        return;
+    Table avg(w.agg_headers);
+    auto row = [&](const char *label, std::optional<bool> filter) {
+        std::vector<std::string> cells{label};
+        for (const std::string &col : w.columns) {
+            const std::optional<ScenarioResult> &r = lookup(col);
+            cells.push_back(
+                r ? Table::num(
+                        ScenarioResult::avgRelative(*r, base, filter))
+                  : std::string("-"));
+        }
+        avg.addRow(cells);
+    };
+    row("Avg (HP)", true);
+    row("Avg (LP)", false);
+    row("Avg (all)", std::nullopt);
+    avg.print();
+}
+
+void
+renderNote(const Sweep &sw, const SweepOutput &o,
+           const std::string &origin)
+{
+    const Record *rec = sw.find(o.point);
+    if (rec == nullptr)
+        return;
+    std::string out;
+    const std::string &tmpl = o.text;
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+        if (tmpl[i] != '{') {
+            out += tmpl[i];
+            continue;
+        }
+        const std::size_t close = tmpl.find('}', i);
+        if (close == std::string::npos)
+            fatal(sformat("%s:%u: unterminated '{' in note",
+                          origin.c_str(), o.line));
+        const std::string ref = tmpl.substr(i + 1, close - i - 1);
+        const std::size_t colon = ref.find(':');
+        char *end = nullptr;
+        const long digits =
+            colon == std::string::npos
+                ? -1
+                : std::strtol(ref.c_str() + colon + 1, &end, 10);
+        if (colon == std::string::npos || end == nullptr ||
+            *end != '\0' || digits < 0 || digits > 17)
+            fatal(sformat("%s:%u: bad note placeholder '{%s}' (want "
+                          "{metric:digits})", origin.c_str(), o.line,
+                          ref.c_str()));
+        out += sformat("%.*f", static_cast<int>(digits),
+                       rec->num(ref.substr(0, colon)));
+        i = close;
+    }
+    std::fputs(out.c_str(), stdout);
+}
+
+} // namespace
+
+void
+renderSweep(const SweepSpec &spec, const Sweep &sw)
+{
+    const std::string origin =
+        spec.name.empty() ? "<sweep>" : spec.name;
+    for (const SweepOutput &o : spec.outputs) {
+        switch (o.kind) {
+          case SweepOutput::Kind::Text:
+            std::fputs(o.text.c_str(), stdout);
+            break;
+          case SweepOutput::Kind::Table:
+            renderTable(spec, sw, o, origin);
+            break;
+          case SweepOutput::Kind::WorkloadTable:
+            renderWorkloadTable(spec, sw, o, origin);
+            break;
+          case SweepOutput::Kind::Note:
+            renderNote(sw, o, origin);
+            break;
+        }
+    }
+}
+
+int
+runSweepBench(const SweepSpec &spec, const std::string &bench, int argc,
+              char **argv)
+{
+    setQuiet(true);
+    Sweep sw(bench, argc, argv);
+    expandSweep(spec, sw);
+    sw.run();
+    renderSweep(spec, sw);
+    return sw.finish();
+}
+
+std::string
+formatRegistryListing(const std::vector<RegistryLine> &rows)
+{
+    std::size_t name_w = 0;
+    for (const RegistryLine &r : rows)
+        name_w = std::max(name_w, r.name.size());
+    std::string out;
+    for (const RegistryLine &r : rows) {
+        out += sformat("%-*s  %4zu pt  %s\n",
+                       static_cast<int>(name_w), r.name.c_str(),
+                       r.points, r.summary.c_str());
+    }
+    return out;
 }
 
 } // namespace a4

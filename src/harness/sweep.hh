@@ -43,6 +43,8 @@
 namespace a4
 {
 
+struct SweepSpec;
+
 /** Ordered name -> value results of one sweep point. */
 class Record
 {
@@ -157,6 +159,42 @@ class Sweep
     bool ran_ = false;
     unsigned jobs_used_ = 0; ///< workers run() actually used
 };
+
+// --------------------------------------------------------------------
+// Declarative sweeps (SweepSpec -> the point/Record contract above)
+
+/**
+ * Declare every expanded point of @p spec on @p sw: the point
+ * function resolves the grid coordinates into a ScenarioSpec, runs
+ * it, and converts the SpecResult through the sweep's record view
+ * (spec / micro / scenario / the record=select metric projection).
+ * JobPool sharding, hex-float reassembly, and the shared CLI all
+ * apply unchanged.
+ */
+void expandSweep(const SweepSpec &spec, Sweep &sw);
+
+/** Render the sweep's declarative output elements from the collected
+ *  Records (sections, tables, the per-workload table, notes). */
+void renderSweep(const SweepSpec &spec, const Sweep &sw);
+
+/**
+ * The whole bench main: parse the shared CLI (the Sweep/JSON name is
+ * @p bench), expand, run, render, honour --json. Every figure bench
+ * is `return runSweepBench(<its registered sweep>, argc, argv);`.
+ */
+int runSweepBench(const SweepSpec &spec, const std::string &bench,
+                  int argc, char **argv);
+
+/** One row of a registry listing (a4sim / a4bench --list). */
+struct RegistryLine
+{
+    std::string name;
+    std::size_t points = 0;
+    std::string summary;
+};
+
+/** The shared --list formatter: "<name>  <points> pt  <summary>". */
+std::string formatRegistryListing(const std::vector<RegistryLine> &rows);
 
 } // namespace a4
 

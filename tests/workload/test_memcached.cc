@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the memcached-over-UDP workload kind: determinism of the
+ * request stream, the value-size knob's effect, and the GET-response
+ * egress path (the NIC tx reuse).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/spec.hh"
+#include "sim/types.hh"
+
+using namespace a4;
+
+namespace
+{
+
+Windows
+tinyWindows()
+{
+    Windows w;
+    w.warmup = 2 * kMsec;
+    w.measure = 3 * kMsec;
+    return w;
+}
+
+ScenarioSpec
+memcachedSpec()
+{
+    const RegisteredScenario *r = findScenario("memcached");
+    EXPECT_NE(r, nullptr);
+    return r->spec;
+}
+
+} // namespace
+
+TEST(Memcached, RegisteredScenarioIsDeterministic)
+{
+    const ScenarioSpec spec = memcachedSpec();
+    const std::string a =
+        toRecord(runSpecWithWindows(spec, tinyWindows())).serialize();
+    const std::string b =
+        toRecord(runSpecWithWindows(spec, tinyWindows())).serialize();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Memcached, ServesRequestsAndTransmitsGetResponses)
+{
+    SpecResult r = runSpecWithWindows(memcachedSpec(), tinyWindows());
+    const SpecWorkloadResult *mc = r.find("mc");
+    ASSERT_NE(mc, nullptr);
+    EXPECT_EQ(mc->kind, "memcached-udp");
+    EXPECT_TRUE(mc->multithread_io);
+    EXPECT_GT(mc->perf, 0.0);              // served requests
+    EXPECT_GT(mc->ingress_bytes, 0.0);     // NIC reception path
+    EXPECT_GT(mc->egress_bytes, 0.0);      // GET responses (nic.tx)
+    EXPECT_GT(mc->tail_latency_us, 0.0);
+}
+
+TEST(Memcached, ValueSizeKnobMovesTheOperatingPoint)
+{
+    ScenarioSpec small = memcachedSpec();
+    applySpecOverride(small, "mc.value_bytes=256");
+    ScenarioSpec large = memcachedSpec();
+    applySpecOverride(large, "mc.value_bytes=8192");
+
+    SpecResult rs = runSpecWithWindows(small, tinyWindows());
+    SpecResult rl = runSpecWithWindows(large, tinyWindows());
+    const SpecWorkloadResult *ms = rs.find("mc");
+    const SpecWorkloadResult *ml = rl.find("mc");
+    ASSERT_NE(ms, nullptr);
+    ASSERT_NE(ml, nullptr);
+    // Bigger values touch more lines per request: fewer requests per
+    // second, more egress bytes per request.
+    EXPECT_GT(ms->perf, ml->perf);
+    EXPECT_NE(ms->egress_bytes, ml->egress_bytes);
+}
+
+TEST(Memcached, SeedKnobSelectsADifferentButDeterministicStream)
+{
+    ScenarioSpec reseeded = memcachedSpec();
+    applySpecOverride(reseeded, "mc.seed=99");
+    const std::string base =
+        toRecord(runSpecWithWindows(memcachedSpec(), tinyWindows()))
+            .serialize();
+    const std::string a =
+        toRecord(runSpecWithWindows(reseeded, tinyWindows()))
+            .serialize();
+    const std::string b =
+        toRecord(runSpecWithWindows(reseeded, tinyWindows()))
+            .serialize();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, base);
+}
