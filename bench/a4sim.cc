@@ -236,7 +236,12 @@ main(int argc, char **argv)
     for (const auto &[name, spec] : selected) {
         const ScenarioSpec spec_copy = spec;
         sw.add(name, [spec_copy] {
-            return toRecord(runSpec(spec_copy));
+            SpecResult r = runSpec(spec_copy);
+            Record rec = toRecord(r);
+            // Diverted into the point's "wall" object by writeJson().
+            rec.set("warmup_s", r.warmup_wall_s);
+            rec.set("measure_s", r.measure_wall_s);
+            return rec;
         });
     }
     sw.run();

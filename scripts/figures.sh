@@ -51,10 +51,13 @@ declare -A WALL
 
 for b in "${BENCHES[@]}"; do
   echo "== $b (jobs=$JOBS, duration scale $A4_TEST_DURATION_SCALE) =="
-  start=$SECONDS
+  start=$(date +%s.%N)
   "$A4BENCH" "$b" --jobs "$JOBS" --json "$OUT_DIR/$b.json" \
     | tee "$OUT_DIR/$b.txt"
-  WALL[$b]=$((SECONDS - start))
+  # Fractional seconds: checkpoint-restored sweeps finish in well
+  # under a second, which integer $SECONDS arithmetic rounds to 0.
+  WALL[$b]=$(awk -v a="$start" -v b="$(date +%s.%N)" \
+             'BEGIN { printf "%.3f", b - a }')
 done
 
 # Aggregate: each bench's JSON verbatim, wrapped with its wall-clock.
@@ -67,7 +70,7 @@ done
   echo '  "benches": ['
   sep=''
   for b in "${BENCHES[@]}"; do
-    printf '%s    {"name": "%s", "wall_s": %d, "result":\n' \
+    printf '%s    {"name": "%s", "wall_s": %s, "result":\n' \
       "$sep" "$b" "${WALL[$b]}"
     sed 's/^/    /' "$OUT_DIR/$b.json"
     printf '    }'

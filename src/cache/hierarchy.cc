@@ -562,4 +562,112 @@ CacheSystem::llcWayOccupancyOf(WorkloadId id) const
     return occ;
 }
 
+// --------------------------------------------------------------------
+// Snapshot hooks
+
+namespace
+{
+
+void
+saveCounters(Serializer &s, const WorkloadCounters &c)
+{
+    c.mlc_hit.saveState(s);
+    c.mlc_miss.saveState(s);
+    c.llc_hit.saveState(s);
+    c.llc_miss.saveState(s);
+    c.dma_lines_written.saveState(s);
+    c.dma_write_update.saveState(s);
+    c.dma_write_alloc.saveState(s);
+    c.dma_nonalloc.saveState(s);
+    c.dma_leaked.saveState(s);
+    c.migrated_inclusive.saveState(s);
+    c.bloat_inserts.saveState(s);
+    c.evicted_by_migration.saveState(s);
+    c.mem_read_lines.saveState(s);
+    c.mem_write_lines.saveState(s);
+}
+
+void
+restoreCounters(Deserializer &d, WorkloadCounters &c)
+{
+    c.mlc_hit.restoreState(d);
+    c.mlc_miss.restoreState(d);
+    c.llc_hit.restoreState(d);
+    c.llc_miss.restoreState(d);
+    c.dma_lines_written.restoreState(d);
+    c.dma_write_update.restoreState(d);
+    c.dma_write_alloc.restoreState(d);
+    c.dma_nonalloc.restoreState(d);
+    c.dma_leaked.restoreState(d);
+    c.migrated_inclusive.restoreState(d);
+    c.bloat_inserts.restoreState(d);
+    c.evicted_by_migration.restoreState(d);
+    c.mem_read_lines.restoreState(d);
+    c.mem_write_lines.restoreState(d);
+}
+
+} // namespace
+
+void
+CacheSystem::saveState(Serializer &s) const
+{
+    s.begin("cache");
+    s.podVec(llc_tags);
+    s.podVec(llc_lru);
+    s.podVec(llc_owner);
+    s.podVec(llc_mlc_core);
+    s.podVec(llc_tick);
+    s.podVec(mlc_tags);
+    s.podVec(mlc_lru);
+    s.podVec(mlc_owner);
+    s.podVec(mlc_tick);
+    s.u64(wl_stats.size());
+    for (const WorkloadCounters &c : wl_stats)
+        saveCounters(s, c);
+    gstats.llc_lookups.saveState(s);
+    gstats.llc_evictions.saveState(s);
+    gstats.llc_writebacks.saveState(s);
+    gstats.dca_evictions.saveState(s);
+    gstats.inclusive_evictions.saveState(s);
+    gstats.egress_inclusive_alloc.saveState(s);
+    s.u64(next_deferred_);
+    s.end("cache");
+}
+
+void
+CacheSystem::restoreState(Deserializer &d)
+{
+    d.begin("cache");
+    const std::size_t llc_n = llc_tags.size();
+    const std::size_t llc_sets_n = llc_tick.size();
+    const std::size_t mlc_n = mlc_tags.size();
+    const std::size_t mlc_sets_n = mlc_tick.size();
+    d.podVec(llc_tags);
+    d.podVec(llc_lru);
+    d.podVec(llc_owner);
+    d.podVec(llc_mlc_core);
+    d.podVec(llc_tick);
+    d.podVec(mlc_tags);
+    d.podVec(mlc_lru);
+    d.podVec(mlc_owner);
+    d.podVec(mlc_tick);
+    if (llc_tags.size() != llc_n || llc_lru.size() != llc_n ||
+        llc_owner.size() != llc_n || llc_mlc_core.size() != llc_n ||
+        llc_tick.size() != llc_sets_n || mlc_tags.size() != mlc_n ||
+        mlc_lru.size() != mlc_n || mlc_owner.size() != mlc_n ||
+        mlc_tick.size() != mlc_sets_n)
+        throw SnapshotError("CacheSystem: geometry mismatch");
+    wl_stats.resize(d.u64());
+    for (WorkloadCounters &c : wl_stats)
+        restoreCounters(d, c);
+    gstats.llc_lookups.restoreState(d);
+    gstats.llc_evictions.restoreState(d);
+    gstats.llc_writebacks.restoreState(d);
+    gstats.dca_evictions.restoreState(d);
+    gstats.inclusive_evictions.restoreState(d);
+    gstats.egress_inclusive_alloc.restoreState(d);
+    next_deferred_ = d.u64();
+    d.end("cache");
+}
+
 } // namespace a4

@@ -203,6 +203,19 @@ class CacheSystem
     const CacheGeometry &geometry() const { return geom; }
     const CacheLatencies &latencies() const { return lat; }
 
+    /**
+     * @name Snapshot hooks.
+     * Tag/LRU/owner arrays go as raw blobs (geometry-checked on
+     * restore); counter banks element-wise. Deferred-source
+     * registration is construction-time wiring and is not saved —
+     * each source snapshots its own pending accesses, and
+     * next_deferred_ carries the earliest-pending hint across.
+     * @{
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
+    /** @} */
+
   private:
     enum Flags : std::uint8_t
     {

@@ -155,9 +155,35 @@ class Measurement
     void
     run()
     {
+        startAndWarm();
+        beginMeasure();
+        runMeasure();
+    }
+
+    /**
+     * @name Phased protocol (the checkpoint layer's entry points).
+     * A cold run is startAndWarm() -> beginMeasure() -> runMeasure();
+     * a checkpoint is saved between the first two, and a restored run
+     * skips startAndWarm() entirely — the restored state already sits
+     * at the warm-up boundary, deferred arrivals included (they are
+     * applied by beginMeasure()'s sampling, exactly as in a cold
+     * run).
+     * @{
+     */
+
+    /** Start every tracked workload and run the warm-up window. */
+    void
+    startAndWarm()
+    {
         for (Workload *w : tracked)
             w->start();
         bed.run(win.warmup);
+    }
+
+    /** Snapshot all counters and reset the latency distributions. */
+    void
+    beginMeasure()
+    {
         for (Workload *w : tracked) {
             mon.sampleWorkload(w->id());
             w->resetWindow();
@@ -171,8 +197,11 @@ class Measurement
             w->cycles().delta(cyc_prev[w->id()]);
         }
         mon.sampleSystem();
-        bed.run(win.measure);
     }
+
+    /** Run the measurement window. */
+    void runMeasure() { bed.run(win.measure); }
+    /** @} */
 
     /** Counter deltas for @p w over the measurement window. */
     WorkloadSample

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 
 #include "harness/builders.hh"
+#include "harness/checkpoint.hh"
 #include "sim/log.hh"
 
 namespace a4
@@ -1045,13 +1047,24 @@ SpecResult::toGbps(double bytes) const
     return bytes * 1e9 / double(measure_window) * scale / 1e9;
 }
 
-SpecResult
-runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
+namespace
 {
-    validateSpec(spec, spec.name.empty() ? "<spec>" : spec.name);
-    if (spec.workloads.empty())
-        fatal(sformat("spec '%s': no workloads",
-                      spec.name.empty() ? "<spec>" : spec.name.c_str()));
+
+/**
+ * One construction + run attempt. @p restore_payload non-null: skip
+ * scheme programming and every start() call, restore the warm-up
+ * image instead (throws SnapshotError on mismatch — the caller
+ * retries cold). @p save_path non-null (cold runs only): snapshot at
+ * the warm-up boundary and publish the image.
+ */
+SpecResult
+runSpecAttempt(const ScenarioSpec &spec, const Windows &win,
+               const std::string *restore_payload,
+               const std::string *save_path,
+               const std::string *key_text)
+{
+    const bool restoring = restore_payload != nullptr;
+    const auto t0 = std::chrono::steady_clock::now();
 
     ServerConfig server_cfg = ServerConfig::fast();
     if (spec.replacement == "srrip")
@@ -1082,10 +1095,13 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
         by_index[idx] = &wl;
     }
 
-    // Per-port DCA disable (the Fig. 8 I/O-device-aware knob).
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!spec.workloads[i].dca)
-            bed.ddio().disableDcaForPort(by_index[i]->ioPort());
+    // Per-port DCA disable (the Fig. 8 I/O-device-aware knob). On the
+    // restore path the flips live in the serialized DDIO state.
+    if (!restoring) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!spec.workloads[i].dca)
+                bed.ddio().disableDcaForPort(by_index[i]->ioPort());
+        }
     }
 
     // Registration order is list order, like every historical runner.
@@ -1098,8 +1114,25 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
                                               : QosPriority::Low));
     }
 
+    // Scheme programming. A restore skips the register writes (CAT /
+    // DDIO state is in the image) but still *constructs* the A4
+    // daemon and registers the descriptors — registration is
+    // construction state; the daemon's mutable state (and its queued
+    // periodic firing) comes from the image instead of start().
     std::unique_ptr<A4Manager> mgr;
-    if (spec.scheme == Scheme::Static) {
+    if (spec.scheme != Scheme::Static &&
+        spec.scheme != Scheme::Default &&
+        spec.scheme != Scheme::Isolate) {
+        mgr = std::make_unique<A4Manager>(
+            bed.engine(), bed.cache(), bed.cat(), bed.ddio(),
+            bed.dram(), bed.pcie(),
+            a4Variant(a4Letter(spec.scheme),
+                      spec.a4 ? *spec.a4 : scenarioA4Defaults()));
+        for (const WorkloadDesc &d : descs)
+            mgr->addWorkload(d);
+        if (!restoring)
+            mgr->start();
+    } else if (spec.scheme == Scheme::Static && !restoring) {
         // Motivation-figure setup: no manager; pins programmed
         // directly, CLOS 1, 2, ... in list order — the historical
         // pinWays() testbeds bit for bit.
@@ -1114,10 +1147,10 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
                 bed.cat().assignCore(c, clos);
             ++clos;
         }
-    } else if (spec.scheme == Scheme::Default) {
+    } else if (spec.scheme == Scheme::Default && !restoring) {
         DefaultManager dm(bed.cat());
         dm.start();
-    } else if (spec.scheme == Scheme::Isolate) {
+    } else if (spec.scheme == Scheme::Isolate && !restoring) {
         IsolateManager im(bed.cat());
         // Pinned entries first (IsolateManager's pins parallel the
         // pinned prefix), auto-partitioned entries after, both in
@@ -1133,24 +1166,41 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
                 im.addWorkload(descs[i]);
         }
         im.start();
-    } else {
-        mgr = std::make_unique<A4Manager>(
-            bed.engine(), bed.cache(), bed.cat(), bed.ddio(),
-            bed.dram(), bed.pcie(),
-            a4Variant(a4Letter(spec.scheme),
-                      spec.a4 ? *spec.a4 : scenarioA4Defaults()));
-        for (const WorkloadDesc &d : descs)
-            mgr->addWorkload(d);
-        mgr->start();
     }
 
     std::vector<Workload *> tracked(by_index.begin(), by_index.end());
     Measurement m(bed, tracked, win);
-    m.run();
+    if (restoring) {
+        restoreWarmupImage(*restore_payload, bed, mgr.get());
+    } else {
+        m.startAndWarm();
+        if (save_path) {
+            try {
+                storeWarmupImage(*save_path, *key_text,
+                                 saveWarmupImage(bed, mgr.get()));
+            } catch (const SnapshotError &e) {
+                // Unsnapshottable state (e.g. an untagged in-flight
+                // completion): the run itself is unaffected.
+                static std::string warned;
+                warnOncePerValue(warned, e.what(),
+                                 "warning: A4_CKPT_DIR: cannot "
+                                 "snapshot warm-up (%s); continuing "
+                                 "without\n");
+            }
+        }
+    }
+    const auto t_warm = std::chrono::steady_clock::now();
+    m.beginMeasure();
+    m.runMeasure();
+    const auto t_done = std::chrono::steady_clock::now();
 
     SpecResult res;
     res.scale = bed.config().scale;
     res.measure_window = win.measure;
+    res.warmup_wall_s =
+        std::chrono::duration<double>(t_warm - t0).count();
+    res.measure_wall_s =
+        std::chrono::duration<double>(t_done - t_warm).count();
     SystemSample sys = m.system();
     for (std::size_t i = 0; i < n; ++i) {
         Workload &wl = *by_index[i];
@@ -1201,6 +1251,39 @@ runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
     res.mem_wr_bw_bps = sys.memWriteBwBps();
     res.past_events = double(bed.engine().pastEvents());
     return res;
+}
+
+} // namespace
+
+SpecResult
+runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
+{
+    validateSpec(spec, spec.name.empty() ? "<spec>" : spec.name);
+    if (spec.workloads.empty())
+        fatal(sformat("spec '%s': no workloads",
+                      spec.name.empty() ? "<spec>" : spec.name.c_str()));
+
+    const std::string dir = checkpointDir();
+    if (dir.empty())
+        return runSpecAttempt(spec, win, nullptr, nullptr, nullptr);
+
+    const std::string key_text = checkpointKeyText(spec, win.warmup);
+    const std::string path = checkpointPath(dir, key_text);
+    std::string payload;
+    if (loadWarmupImage(path, key_text, payload)) {
+        try {
+            return runSpecAttempt(spec, win, &payload, nullptr,
+                                  nullptr);
+        } catch (const SnapshotError &e) {
+            // A mid-restore failure leaves the attempt's testbed in an
+            // undefined state; the retry below rebuilds from scratch.
+            static std::string warned;
+            warnOncePerValue(warned, e.what(),
+                             "warning: A4_CKPT_DIR: restore failed "
+                             "(%s); running cold\n");
+        }
+    }
+    return runSpecAttempt(spec, win, nullptr, &path, &key_text);
 }
 
 SpecResult

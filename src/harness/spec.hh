@@ -221,6 +221,15 @@ struct SpecResult
     double mem_wr_bw_bps = 0.0;
     double past_events = 0.0;   ///< Engine::pastEvents() after the run
 
+    /**
+     * Host wall clock (seconds) split at the warm-up boundary:
+     * construct + warm-up (or restore) vs. the measurement window.
+     * Diagnostics only — deliberately kept out of the deterministic
+     * "metrics" section of the --json output.
+     */
+    double warmup_wall_s = 0.0;
+    double measure_wall_s = 0.0;
+
     Tick measure_window = 0;    ///< resolved measure window (ns)
     unsigned scale = 1;         ///< ServerConfig::scale of the run
 

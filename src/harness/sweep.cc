@@ -503,7 +503,18 @@ Sweep::writeJson(const std::string &path) const
         out << "    {\"name\": \"" << jsonEscape(p.name)
             << "\", \"metrics\": {";
         bool first_kv = true;
+        std::string wall;
         for (const Record::Entry &e : p.result.entries()) {
+            // Host wall-clock diagnostics are nondeterministic, so
+            // they live in a sibling "wall" object on their own line:
+            // byte-level diffs of two runs stay meaningful by
+            // dropping lines containing "wall".
+            if (e.key == "warmup_s" || e.key == "measure_s") {
+                wall += wall.empty() ? "" : ", ";
+                wall += "\"" + jsonEscape(e.key) +
+                        "\": " + jsonNumber(e.num);
+                continue;
+            }
             out << (first_kv ? "" : ", ");
             first_kv = false;
             out << "\"" << jsonEscape(e.key) << "\": ";
@@ -512,7 +523,10 @@ Sweep::writeJson(const std::string &path) const
             else
                 out << "\"" << jsonEscape(e.str) << "\"";
         }
-        out << "}}";
+        out << "}";
+        if (!wall.empty())
+            out << ",\n     \"wall\": {" << wall << "}";
+        out << "}";
     }
     out << "\n  ]\n}\n";
     if (!out.flush())
@@ -543,22 +557,29 @@ expandSweep(const SweepSpec &spec, Sweep &sw)
         const ScenarioSpec point_spec = std::move(p.spec);
         sw.add(p.name, [point_spec, view, metrics] {
             SpecResult r = runSpec(point_spec);
+            Record rec;
             switch (view) {
               case SweepRecordView::Micro:
-                return toRecord(microResultFromSpec(r));
+                rec = toRecord(microResultFromSpec(r));
+                break;
               case SweepRecordView::Scenario:
-                return toRecord(scenarioResultFromSpec(r));
-              case SweepRecordView::Select: {
-                Record rec;
+                rec = toRecord(scenarioResultFromSpec(r));
+                break;
+              case SweepRecordView::Select:
                 for (const SpecKnob &m : metrics)
                     rec.set(m.key, evalSweepMetric(r, m.value));
                 rec.set("past_events", r.past_events);
-                return rec;
-              }
+                break;
               case SweepRecordView::Spec:
+                rec = toRecord(r);
                 break;
             }
-            return toRecord(r);
+            // Every view carries the wall-clock split — writeJson()
+            // diverts these two keys into the point's "wall" object,
+            // outside the deterministic "metrics".
+            rec.set("warmup_s", r.warmup_wall_s);
+            rec.set("measure_s", r.measure_wall_s);
+            return rec;
         });
     }
 }

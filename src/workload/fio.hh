@@ -85,6 +85,9 @@ class FioWorkload : public Workload
         write_lat.reset();
     }
 
+    void saveState(Serializer &s) const override;
+    void restoreState(Deserializer &d) override;
+
   private:
     struct Buffer
     {

@@ -162,8 +162,21 @@ TEST(SweepSpec, ParallelExpansionIsByteIdenticalToSerial)
         expandSweep(spec, sw);
         sw.run();
         std::string out;
-        for (const std::string &name : sw.names())
-            out += name + "\n" + sw.at(name).serialize();
+        for (const std::string &name : sw.names()) {
+            // Drop the host wall-clock diagnostics: genuinely
+            // nondeterministic, and excluded from the byte-identity
+            // contract (writeJson() keeps them out of "metrics").
+            Record r;
+            for (const Record::Entry &e : sw.at(name).entries()) {
+                if (e.key == "warmup_s" || e.key == "measure_s")
+                    continue;
+                if (e.is_num)
+                    r.set(e.key, e.num);
+                else
+                    r.set(e.key, e.str);
+            }
+            out += name + "\n" + r.serialize();
+        }
         return out;
     };
     const std::string serial = run(1);
