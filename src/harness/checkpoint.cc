@@ -16,6 +16,8 @@
 #include "harness/testbed.hh"
 #include "iodev/nic.hh"
 #include "iodev/nvme.hh"
+#include "net/frame.hh"    // the repo-wide fnv1a64
+#include "net/protocol.hh" // buildTag()
 #include "sim/log.hh"
 #include "sim/rng.hh"
 #include "sim/serialize.hh"
@@ -28,17 +30,6 @@ namespace
 
 constexpr char kMagic[] = "A4CKPT1\n";
 constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
-
-std::uint64_t
-fnv1a64(const std::string &data)
-{
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (unsigned char c : data) {
-        h ^= c;
-        h *= 0x100000001B3ull;
-    }
-    return h;
-}
 
 void
 putU64(std::string &out, std::uint64_t v)
@@ -93,7 +84,9 @@ checkpointKeyText(const ScenarioSpec &spec, Tick warmup)
 
     std::string key;
     key += sformat("format = %u\n", kSnapshotFormatVersion);
-    key += sformat("build = %s %s\n", __DATE__, __TIME__);
+    // Same identity the dispatch layer's HELLO exchanges: an image
+    // is only trusted within one build (tag overridable for tests).
+    key += sformat("build = %s\n", buildTag().c_str());
     key += sformat("warmup_ticks = %llu\n",
                    static_cast<unsigned long long>(warmup));
     key += sformat("env.seed = %llu\n",

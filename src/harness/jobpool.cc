@@ -1,102 +1,7 @@
 #include "harness/jobpool.hh"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <exception>
-#include <map>
-
-#include <fcntl.h>
-#include <poll.h>
-#include <signal.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include "sim/log.hh"
-
 namespace a4
 {
-
-namespace
-{
-
-/** One in-flight forked job. */
-struct Child
-{
-    pid_t pid = -1;
-    int fd = -1; ///< read end of the result pipe
-    std::size_t index = 0;
-    std::string payload;
-};
-
-/** Write all of @p s to @p fd, retrying on EINTR/short writes. */
-bool
-writeAll(int fd, const std::string &s)
-{
-    std::size_t off = 0;
-    while (off < s.size()) {
-        ssize_t w = ::write(fd, s.data() + off, s.size() - off);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += std::size_t(w);
-    }
-    return true;
-}
-
-/** Run @p fn in the already-forked child and exit, never returning. */
-[[noreturn]] void
-childMain(int write_fd, std::size_t index,
-          const std::function<std::string(std::size_t)> &fn)
-{
-    int status = 0;
-    try {
-        if (!writeAll(write_fd, fn(index)))
-            status = 1;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "sweep worker: %s\n", e.what());
-        status = 1;
-    } catch (...) {
-        std::fprintf(stderr, "sweep worker: unknown exception\n");
-        status = 1;
-    }
-    ::close(write_fd);
-    // _exit, not exit: the child shares the parent's stdio buffers
-    // and atexit handlers, and must not flush or run either.
-    ::_exit(status);
-}
-
-/** Kill and reap every still-running child (error-path cleanup). */
-void
-killAll(std::map<int, Child> &active)
-{
-    for (auto &[fd, c] : active) {
-        ::close(fd);
-        ::kill(c.pid, SIGKILL);
-    }
-    for (auto &[fd, c] : active) {
-        int status;
-        while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
-        }
-    }
-    active.clear();
-}
-
-std::string
-exitDescription(int status)
-{
-    if (WIFEXITED(status))
-        return sformat("exit status %d", WEXITSTATUS(status));
-    if (WIFSIGNALED(status))
-        return sformat("signal %d (%s)", WTERMSIG(status),
-                       strsignal(WTERMSIG(status)));
-    return sformat("wait status 0x%x", status);
-}
-
-} // namespace
 
 JobPool::JobPool(unsigned max_jobs) : max_jobs_(max_jobs ? max_jobs : 1)
 {
@@ -107,117 +12,14 @@ JobPool::run(std::size_t n,
              const std::function<std::string(std::size_t)> &fn,
              const std::function<std::string(std::size_t)> &label)
 {
-    std::vector<std::string> results(n);
-
-    if (max_jobs_ == 1) {
-        // In-process fallback: same payloads, no fork/pipe round-trip.
-        for (std::size_t i = 0; i < n; ++i)
-            results[i] = fn(i);
-        return results;
-    }
-
-    std::map<int, Child> active; // keyed by read fd
-    std::size_t next = 0, done = 0;
-
-    while (done < n) {
-        while (active.size() < max_jobs_ && next < n) {
-            int fds[2];
-            if (::pipe(fds) < 0) {
-                killAll(active);
-                fatal(sformat("sweep: pipe() failed: %s",
-                              std::strerror(errno)));
-            }
-            // The child must not flush bytes the parent buffered.
-            std::fflush(nullptr);
-            pid_t pid = ::fork();
-            if (pid < 0) {
-                ::close(fds[0]);
-                ::close(fds[1]);
-                killAll(active);
-                fatal(sformat("sweep: fork() failed: %s",
-                              std::strerror(errno)));
-            }
-            if (pid == 0) {
-                ::close(fds[0]);
-                childMain(fds[1], next, fn); // never returns
-            }
-            ::close(fds[1]);
-            ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
-            Child c;
-            c.pid = pid;
-            c.fd = fds[0];
-            c.index = next++;
-            active.emplace(c.fd, std::move(c));
-        }
-
-        std::vector<pollfd> pfds;
-        pfds.reserve(active.size());
-        for (const auto &[fd, c] : active)
-            pfds.push_back({fd, POLLIN, 0});
-        if (::poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
-            if (errno == EINTR)
-                continue;
-            killAll(active);
-            fatal(sformat("sweep: poll() failed: %s",
-                          std::strerror(errno)));
-        }
-
-        for (const pollfd &p : pfds) {
-            if (!(p.revents & (POLLIN | POLLHUP | POLLERR)))
-                continue;
-            Child &c = active.at(p.fd);
-            char buf[4096];
-            bool eof = false;
-            for (;;) {
-                ssize_t r = ::read(p.fd, buf, sizeof(buf));
-                if (r > 0) {
-                    c.payload.append(buf, std::size_t(r));
-                    continue;
-                }
-                if (r == 0) {
-                    eof = true;
-                    break;
-                }
-                if (errno == EINTR)
-                    continue;
-                if (errno == EAGAIN || errno == EWOULDBLOCK)
-                    break;
-                killAll(active);
-                fatal(sformat("sweep: pipe read failed: %s",
-                              std::strerror(errno)));
-            }
-            if (!eof)
-                continue; // more payload on a later poll round
-            // EOF: the child closed its pipe; reap it.
-            ::close(p.fd);
-            int status = 0;
-            while (::waitpid(c.pid, &status, 0) < 0) {
-                if (errno == EINTR)
-                    continue;
-                // e.g. ECHILD when the parent inherited SIGCHLD =
-                // SIG_IGN: the exit status is unrecoverable. Assume
-                // success rather than fail every worker under such a
-                // parent — a child that actually died mid-write left
-                // a truncated payload, which the caller's
-                // deserialization rejects.
-                status = 0;
-                break;
-            }
-            const std::size_t index = c.index;
-            std::string payload = std::move(c.payload);
-            active.erase(p.fd); // reaped: keep it out of killAll's way
-            if (status != 0) {
-                killAll(active);
-                fatal(sformat(
-                    "sweep: worker for point '%s' failed (%s); "
-                    "rerun with --jobs 1 to debug in-process",
-                    label(index).c_str(),
-                    exitDescription(status).c_str()));
-            }
-            results[index] = std::move(payload);
-            ++done;
-        }
-    }
+    DispatchConfig dc;
+    dc.bench = "jobpool";
+    dc.local_slots = max_jobs_;
+    dc.point_timeout_s = pointTimeoutFromEnv();
+    dc.retry_budget = retryBudgetFromEnv();
+    Dispatcher d(std::move(dc));
+    std::vector<std::string> results = d.run(n, fn, label);
+    stats_ = d.stats();
     return results;
 }
 

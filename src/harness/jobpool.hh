@@ -4,10 +4,18 @@
  *
  * Each job is executed in its own fork()ed child so it gets a
  * pristine address space (fresh Engine/Testbed, untouched globals);
- * the child's string payload travels back over a pipe and the pool
- * returns all payloads in submission order. Determinism is therefore
- * free: a job computes the same bytes whether it runs first, last, or
- * concurrently with every other job.
+ * the child's payload travels back over a pipe as one checksummed
+ * frame (net/frame.hh) and the pool returns all payloads in
+ * submission order. Determinism is therefore free: a job computes
+ * the same bytes whether it runs first, last, or concurrently with
+ * every other job.
+ *
+ * The pool is a thin local-lanes-only wrapper over the Dispatcher
+ * (harness/dispatch.hh), so it carries the full failure model: a
+ * crashed or timed-out child is retried within the bounded per-point
+ * budget ($A4_POINT_RETRIES, $A4_POINT_TIMEOUT) before the run dies
+ * loudly naming the point, and truncated or corrupt payloads are
+ * rejected by frame length + checksum, not by downstream parse luck.
  *
  * With max_jobs == 1 the pool runs every job in-process instead —
  * the debugging/fallback path, and the reference the parallel path
@@ -21,6 +29,8 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "harness/dispatch.hh"
 
 namespace a4
 {
@@ -37,9 +47,9 @@ class JobPool
      *
      * @p fn computes job @p i's payload (in a child process when
      * max_jobs > 1). @p label names job @p i for error messages. A
-     * child that exits non-zero or dies on a signal aborts the whole
-     * run with fatal(); remaining children are killed and reaped
-     * first.
+     * child that fails is retried within the bounded budget; only
+     * exhausting it aborts the whole run with fatal() (remaining
+     * children are killed, drained, and reaped first).
      */
     std::vector<std::string>
     run(std::size_t n, const std::function<std::string(std::size_t)> &fn,
@@ -47,8 +57,12 @@ class JobPool
 
     unsigned maxJobs() const { return max_jobs_; }
 
+    /** What the failure model had to do during the last run(). */
+    const DispatchStats &stats() const { return stats_; }
+
   private:
     unsigned max_jobs_;
+    DispatchStats stats_;
 };
 
 } // namespace a4

@@ -11,7 +11,6 @@
 #include <thread>
 
 #include "harness/experiment.hh"
-#include "harness/jobpool.hh"
 #include "harness/spec.hh"
 #include "harness/table.hh"
 #include "sim/log.hh"
@@ -184,7 +183,7 @@ usage(const std::string &bench, int code)
     std::FILE *out = code ? stderr : stdout;
     std::fprintf(out,
                  "usage: %s [--jobs N] [--filter SUBSTR] [--json PATH] "
-                 "[--list]\n"
+                 "[--workers LIST] [--list]\n"
                  "  --jobs N, -j N  worker processes (default: $A4_JOBS,"
                  " else all hardware\n"
                  "                  threads); 1 runs points in-process\n"
@@ -202,7 +201,13 @@ usage(const std::string &bench, int code)
                  "  --seed N        RNG stream selector (sets $A4_SEED "
                  "for every point and\n"
                  "                  forked worker); 0 = the built-in "
-                 "default streams\n",
+                 "default streams\n"
+                 "  --workers LIST  comma-separated host:port a4worker "
+                 "daemons (default:\n"
+                 "                  $A4_WORKERS); shards points over "
+                 "remote workers and the\n"
+                 "                  local fork slots, with "
+                 "retry/re-dispatch on failure\n",
                  bench.c_str());
     std::exit(code);
 }
@@ -249,7 +254,8 @@ bool
 SweepOptions::takesValue(const std::string &flag)
 {
     return flag == "--jobs" || flag == "-j" || flag == "--filter" ||
-           flag == "--json" || flag == "--burst" || flag == "--seed";
+           flag == "--json" || flag == "--burst" || flag == "--seed" ||
+           flag == "--workers";
 }
 
 SweepOptions
@@ -275,6 +281,8 @@ SweepOptions::parse(const std::string &bench, int argc, char **argv)
             opt.burst = val;
         } else if (optValue(bench, argc, argv, i, "--seed", val)) {
             opt.seed = val;
+        } else if (optValue(bench, argc, argv, i, "--workers", val)) {
+            opt.workers = val;
         } else if (arg == "--list") {
             opt.list = true;
         } else {
@@ -304,6 +312,14 @@ SweepOptions::effectiveJobs() const
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+std::vector<std::string>
+SweepOptions::effectiveWorkers() const
+{
+    if (!workers.empty())
+        return parseWorkerList(workers);
+    return workersFromEnv();
 }
 
 // --------------------------------------------------------------------
@@ -377,13 +393,29 @@ Sweep::run()
     jobs_used_ =
         std::min<std::size_t>(opt_.effectiveJobs(),
                               std::max<std::size_t>(selected.size(), 1));
-    JobPool pool(jobs_used_);
+    DispatchConfig dc;
+    dc.bench = bench_;
+    dc.local_slots = jobs_used_;
+    dc.workers = opt_.effectiveWorkers();
+    dc.sweep_text = remote_text_;
+    dc.point_timeout_s = pointTimeoutFromEnv();
+    dc.retry_budget = retryBudgetFromEnv();
+    if (!dc.workers.empty() && dc.sweep_text.empty()) {
+        // Hand-written add() closures cannot travel over TCP; only
+        // declarative sweeps (expandSweep) set the remote text.
+        std::fprintf(stderr,
+                     "warning: sweep %s: ignoring remote workers "
+                     "(sweep is not declarative)\n", bench_.c_str());
+        dc.workers.clear();
+    }
+    Dispatcher pool(std::move(dc));
     std::vector<std::string> payloads = pool.run(
         selected.size(),
         [&](std::size_t i) {
             return points_[selected[i]].fn().serialize();
         },
         [&](std::size_t i) { return points_[selected[i]].name; });
+    stats_ = pool.stats();
 
     for (std::size_t i = 0; i < selected.size(); ++i) {
         Point &p = points_[selected[i]];
@@ -401,6 +433,15 @@ Sweep::run()
         }
         p.done = true;
     }
+}
+
+void
+Sweep::setRemoteSweep(std::string sweep_text)
+{
+    if (ran_)
+        fatal(sformat("sweep %s: setRemoteSweep() after run()",
+                      bench_.c_str()));
+    remote_text_ = std::move(sweep_text);
 }
 
 const Record *
@@ -487,6 +528,15 @@ Sweep::writeJson(const std::string &path) const
     out << "  \"bench\": \"" << jsonEscape(bench_) << "\",\n";
     out << "  \"schema_version\": 1,\n";
     out << "  \"jobs\": " << jobs_used_ << ",\n";
+    // What the failure model had to do, on its own greppable line —
+    // nondeterministic like "wall", so absent on a clean run (clean
+    // distributed output stays byte-identical to clean local output)
+    // and easy to drop from byte-level diffs.
+    if (stats_.retries || stats_.redispatches) {
+        out << "  \"dispatch\": {\"retries\": " << stats_.retries
+            << ", \"redispatches\": " << stats_.redispatches
+            << "},\n";
+    }
     // Non-default RNG stream: stamp it so a recorded JSON can always
     // be reproduced (absent = the built-in streams).
     if (const std::uint64_t s = envSeed())
@@ -545,43 +595,80 @@ Sweep::finish() const
 // --------------------------------------------------------------------
 // Declarative sweeps
 
+namespace
+{
+
+/** Run one resolved point and convert it through the record view —
+ *  the shared body of a local point closure and a remote JOB. */
+Record
+pointRecord(const ScenarioSpec &point_spec, SweepRecordView view,
+            const std::vector<SpecKnob> &metrics)
+{
+    SpecResult r = runSpec(point_spec);
+    Record rec;
+    switch (view) {
+      case SweepRecordView::Micro:
+        rec = toRecord(microResultFromSpec(r));
+        break;
+      case SweepRecordView::Scenario:
+        rec = toRecord(scenarioResultFromSpec(r));
+        break;
+      case SweepRecordView::Select:
+        for (const SpecKnob &m : metrics)
+            rec.set(m.key, evalSweepMetric(r, m.value));
+        rec.set("past_events", r.past_events);
+        break;
+      case SweepRecordView::Spec:
+        rec = toRecord(r);
+        break;
+    }
+    // Every view carries the wall-clock split — writeJson() diverts
+    // these two keys into the point's "wall" object, outside the
+    // deterministic "metrics".
+    rec.set("warmup_s", r.warmup_wall_s);
+    rec.set("measure_s", r.measure_wall_s);
+    return rec;
+}
+
+} // namespace
+
 void
 expandSweep(const SweepSpec &spec, Sweep &sw)
 {
     const std::string origin =
         spec.name.empty() ? "<sweep>" : spec.name;
+    // A declarative sweep is shippable: its canonical text plus any
+    // expanded point name reproduces that point's Record anywhere
+    // the build tags match.
+    sw.setRemoteSweep(serializeSweepSpec(spec));
     for (SweepPoint &p : expandSweepSpec(spec, origin)) {
         const SweepRecordView view = spec.record;
         const std::vector<SpecKnob> metrics =
             p.grid->metrics.empty() ? spec.metrics : p.grid->metrics;
         const ScenarioSpec point_spec = std::move(p.spec);
         sw.add(p.name, [point_spec, view, metrics] {
-            SpecResult r = runSpec(point_spec);
-            Record rec;
-            switch (view) {
-              case SweepRecordView::Micro:
-                rec = toRecord(microResultFromSpec(r));
-                break;
-              case SweepRecordView::Scenario:
-                rec = toRecord(scenarioResultFromSpec(r));
-                break;
-              case SweepRecordView::Select:
-                for (const SpecKnob &m : metrics)
-                    rec.set(m.key, evalSweepMetric(r, m.value));
-                rec.set("past_events", r.past_events);
-                break;
-              case SweepRecordView::Spec:
-                rec = toRecord(r);
-                break;
-            }
-            // Every view carries the wall-clock split — writeJson()
-            // diverts these two keys into the point's "wall" object,
-            // outside the deterministic "metrics".
-            rec.set("warmup_s", r.warmup_wall_s);
-            rec.set("measure_s", r.measure_wall_s);
-            return rec;
+            return pointRecord(point_spec, view, metrics);
         });
     }
+}
+
+Record
+runSweepPointRecord(const SweepSpec &spec, const std::string &point,
+                    const std::string &origin_in)
+{
+    const std::string origin =
+        !origin_in.empty() ? origin_in
+        : spec.name.empty() ? "<sweep>"
+                            : spec.name;
+    for (SweepPoint &p : expandSweepSpec(spec, origin)) {
+        if (p.name != point)
+            continue;
+        const std::vector<SpecKnob> &metrics =
+            p.grid->metrics.empty() ? spec.metrics : p.grid->metrics;
+        return pointRecord(p.spec, spec.record, metrics);
+    }
+    fatal(sformat("sweep %s: unknown point '%s'", origin.c_str(),
+                  point.c_str()));
 }
 
 namespace

@@ -1,0 +1,180 @@
+#include "net/frame.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'A', '4', 'F', '1'};
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t
+getU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+bool
+validType(std::uint8_t t)
+{
+    return t >= std::uint8_t(FrameType::Hello) &&
+           t <= std::uint8_t(FrameType::Error);
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(const std::string &data)
+{
+    return fnv1a64(data.data(), data.size());
+}
+
+std::string
+encodeFrame(const Frame &f)
+{
+    if (f.payload.size() > kFrameMaxPayload)
+        fatal(sformat("frame: payload of %zu bytes exceeds the %zu "
+                      "byte limit", f.payload.size(), kFrameMaxPayload));
+    std::string out;
+    out.reserve(kFrameOverhead + f.payload.size());
+    out.append(kMagic, sizeof(kMagic));
+    out.push_back(char(f.type));
+    putU64(out, f.tag);
+    putU32(out, std::uint32_t(f.payload.size()));
+    out += f.payload;
+    // Checksum covers type..payload: everything the magic doesn't pin.
+    putU64(out, fnv1a64(out.data() + sizeof(kMagic),
+                        out.size() - sizeof(kMagic)));
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t len)
+{
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection doesn't accumulate every frame it ever parsed.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > (std::size_t(1) << 20)) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, len);
+}
+
+void
+FrameReader::feed(const std::string &data)
+{
+    feed(data.data(), data.size());
+}
+
+FrameReader::Status
+FrameReader::next(Frame &out, std::string &err)
+{
+    if (bad_) {
+        err = bad_why_;
+        return Status::Bad;
+    }
+    const std::size_t have = buf_.size() - pos_;
+    if (have < kFrameHeaderSize)
+        return Status::Need;
+    const char *p = buf_.data() + pos_;
+
+    const char *why = nullptr;
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+        why = "bad magic";
+    const std::uint8_t type = std::uint8_t(p[4]);
+    const std::uint64_t tag = getU64(p + 5);
+    const std::uint32_t len = getU32(p + 13);
+    if (!why && len > kFrameMaxPayload)
+        why = "oversize payload length";
+    if (!why && !validType(type))
+        why = "unknown frame type";
+    if (!why) {
+        if (have < kFrameOverhead + len)
+            return Status::Need;
+        const std::uint64_t want = getU64(p + kFrameHeaderSize + len);
+        const std::uint64_t got =
+            fnv1a64(p + sizeof(kMagic),
+                    kFrameHeaderSize - sizeof(kMagic) + len);
+        if (want != got)
+            why = "checksum mismatch";
+    }
+    if (why) {
+        bad_ = true;
+        bad_why_ = err = why;
+        return Status::Bad;
+    }
+
+    out.type = FrameType(type);
+    out.tag = tag;
+    out.payload.assign(p + kFrameHeaderSize, len);
+    pos_ += kFrameOverhead + len;
+    return Status::Ready;
+}
+
+bool
+decodeFrameBlob(const std::string &blob, Frame &out, std::string &err)
+{
+    FrameReader rd;
+    rd.feed(blob);
+    switch (rd.next(out, err)) {
+      case FrameReader::Status::Ready:
+        break;
+      case FrameReader::Status::Need:
+        err = sformat("truncated frame (%zu bytes)", blob.size());
+        return false;
+      case FrameReader::Status::Bad:
+        return false;
+    }
+    if (rd.midFrame()) {
+        err = "trailing bytes after frame";
+        return false;
+    }
+    return true;
+}
+
+} // namespace a4

@@ -1,0 +1,145 @@
+#include "net/protocol.hh"
+
+#include <cstdlib>
+#include <exception>
+
+#include "harness/sweep.hh"
+#include "sim/log.hh"
+
+namespace a4
+{
+
+std::string
+buildTag()
+{
+    if (const char *env = std::getenv("A4_BUILD_TAG"))
+        return env;
+    return __DATE__ " " __TIME__;
+}
+
+const std::vector<std::string> &
+forwardedEnvKnobs()
+{
+    // Everything that changes what bytes a point computes (windows,
+    // burst mode, lazy NVMe, RNG stream) or how its failure is
+    // injected. A4_CKPT_DIR is deliberately absent: warm-up images
+    // are host-local, each worker brings its own store.
+    static const std::vector<std::string> knobs = {
+        "A4_TEST_DURATION_SCALE", "A4_BENCH_WINDOWS_MS",
+        "A4_NIC_BURST",           "A4_NVME_LAZY",
+        "A4_SEED",                "A4_FAULT",
+    };
+    return knobs;
+}
+
+Frame
+makeHello(const std::string &role)
+{
+    Record r;
+    r.set("version", double(kNetProtocolVersion));
+    r.set("build", buildTag());
+    r.set("role", role);
+    return Frame{FrameType::Hello, 0, r.serialize()};
+}
+
+Frame
+makeJob(std::uint64_t tag, const JobMsg &job)
+{
+    Record r;
+    r.set("sweep", job.sweep);
+    r.set("spec", job.spec_text);
+    r.set("point", job.point);
+    r.set("attempt", double(job.attempt));
+    r.set("timeout_s", job.timeout_s);
+    for (const auto &[k, v] : job.env)
+        r.set("env." + k, v);
+    return Frame{FrameType::Job, tag, r.serialize()};
+}
+
+Frame
+makeResult(std::uint64_t tag, const std::string &record_blob)
+{
+    return Frame{FrameType::Result, tag, record_blob};
+}
+
+Frame
+makeHeartbeat()
+{
+    return Frame{FrameType::Heartbeat, 0, std::string()};
+}
+
+Frame
+makeError(std::uint64_t tag, const std::string &what)
+{
+    return Frame{FrameType::Error, tag, what};
+}
+
+bool
+parseHello(const Frame &f, HelloMsg &out, std::string &err)
+{
+    if (f.type != FrameType::Hello) {
+        err = "first frame is not HELLO";
+        return false;
+    }
+    try {
+        Record r = Record::deserialize(f.payload);
+        out.version = std::uint32_t(r.num("version"));
+        out.build = r.str("build");
+        out.role = r.str("role");
+    } catch (const std::exception &e) {
+        err = sformat("malformed HELLO (%s)", e.what());
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJob(const Frame &f, JobMsg &out, std::string &err)
+{
+    if (f.type != FrameType::Job) {
+        err = "frame is not a JOB";
+        return false;
+    }
+    try {
+        Record r = Record::deserialize(f.payload);
+        out.sweep = r.str("sweep");
+        out.spec_text = r.str("spec");
+        out.point = r.str("point");
+        out.attempt = unsigned(r.num("attempt"));
+        out.timeout_s = r.num("timeout_s");
+        out.env.clear();
+        for (const Record::Entry &e : r.entries()) {
+            if (e.key.rfind("env.", 0) == 0)
+                out.env.emplace_back(e.key.substr(4), e.str);
+        }
+    } catch (const std::exception &e) {
+        err = sformat("malformed JOB (%s)", e.what());
+        return false;
+    }
+    return true;
+}
+
+bool
+checkHello(const HelloMsg &peer, const std::string &expect_role,
+           std::string &err)
+{
+    if (peer.version != kNetProtocolVersion) {
+        err = sformat("protocol version skew (ours %u, peer %u)",
+                      kNetProtocolVersion, peer.version);
+        return false;
+    }
+    if (peer.build != buildTag()) {
+        err = sformat("build tag skew (ours '%s', peer '%s') — "
+                      "mixed builds would break byte-identity",
+                      buildTag().c_str(), peer.build.c_str());
+        return false;
+    }
+    if (peer.role != expect_role) {
+        err = sformat("unexpected peer role '%s' (want '%s')",
+                      peer.role.c_str(), expect_role.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace a4

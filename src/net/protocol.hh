@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Message-level protocol of the distributed sweep runner, layered on
+ * the frame codec (net/frame.hh):
+ *
+ *   HELLO      both directions, first frame on a connection: protocol
+ *              version + build tag + role. Any mismatch is loud and
+ *              final — a version- or build-skewed worker would
+ *              silently break the byte-identity contract, so it is
+ *              dropped, never "tolerated".
+ *   JOB        dispatcher -> worker: sweep name, the canonical
+ *              serialized SweepSpec text, the point name, the attempt
+ *              number, the per-point timeout, and the forwarded env
+ *              knobs. A SweepSpec plus a point name fully determines
+ *              the Record (PR 5), so this is the whole job.
+ *   RESULT     worker -> dispatcher: the point's serialized Record.
+ *   HEARTBEAT  worker -> dispatcher: liveness beacon while (and
+ *              between) jobs; silence past the dispatcher's window
+ *              means the worker is dead.
+ *   ERROR      worker -> dispatcher: a job failed (child crash,
+ *              timeout, corrupt pipe frame); the payload says why.
+ *
+ * Message payloads reuse the Record text codec, so every field
+ * round-trips through the same escaping the sweep results already
+ * trust.
+ */
+
+#ifndef A4_NET_PROTOCOL_HH
+#define A4_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+
+namespace a4
+{
+
+/** Bump on any incompatible frame/message change. */
+constexpr std::uint32_t kNetProtocolVersion = 1;
+
+/**
+ * The build identity exchanged in HELLO. Two different builds may
+ * legitimately produce different bytes (schemes evolve), so the
+ * dispatcher only accepts workers with an identical tag. $A4_BUILD_TAG
+ * overrides the compiled-in default — for the version-skew tests only.
+ */
+std::string buildTag();
+
+/** Env knobs a JOB carries to the worker so a remote point sees the
+ *  same knob state as a local fork (checkpoint dirs stay per-host). */
+const std::vector<std::string> &forwardedEnvKnobs();
+
+/** HELLO contents. */
+struct HelloMsg
+{
+    std::uint32_t version = 0;
+    std::string build;
+    std::string role; ///< "dispatcher" or "worker"
+};
+
+/** JOB contents. */
+struct JobMsg
+{
+    std::string sweep;              ///< bench/sweep name
+    std::string spec_text;          ///< canonical serialized SweepSpec
+    std::string point;              ///< expanded point name
+    unsigned attempt = 0;           ///< 0 = first try
+    double timeout_s = 0;           ///< 0 = no per-point timeout
+    std::vector<std::pair<std::string, std::string>> env;
+};
+
+Frame makeHello(const std::string &role);
+Frame makeJob(std::uint64_t tag, const JobMsg &job);
+Frame makeResult(std::uint64_t tag, const std::string &record_blob);
+Frame makeHeartbeat();
+Frame makeError(std::uint64_t tag, const std::string &what);
+
+/** Parse a HELLO payload; false with a diagnostic on malformed. */
+bool parseHello(const Frame &f, HelloMsg &out, std::string &err);
+
+/** Parse a JOB payload; false with a diagnostic on malformed. */
+bool parseJob(const Frame &f, JobMsg &out, std::string &err);
+
+/**
+ * Validate a peer's HELLO against our version + build. Returns false
+ * with a human-readable mismatch description (who, both tags).
+ */
+bool checkHello(const HelloMsg &peer, const std::string &expect_role,
+                std::string &err);
+
+} // namespace a4
+
+#endif // A4_NET_PROTOCOL_HH

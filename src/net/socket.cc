@@ -1,0 +1,233 @@
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "sim/log.hh"
+
+namespace a4
+{
+
+namespace
+{
+
+bool
+setBlocking(int fd, bool blocking)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    flags = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+/** getaddrinfo for a numeric-or-named IPv4/IPv6 host. */
+struct AddrList
+{
+    addrinfo *head = nullptr;
+    ~AddrList()
+    {
+        if (head)
+            ::freeaddrinfo(head);
+    }
+};
+
+bool
+resolve(const std::string &host, std::uint16_t port, bool passive,
+        AddrList &out, std::string &err)
+{
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    const std::string port_str = sformat("%u", unsigned(port));
+    int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                           port_str.c_str(), &hints, &out.head);
+    if (rc != 0) {
+        err = sformat("cannot resolve '%s': %s", host.c_str(),
+                      ::gai_strerror(rc));
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+double
+monotonicSeconds()
+{
+    timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+bool
+parseHostPort(const std::string &addr, std::string &host,
+              std::uint16_t &port, std::string &err)
+{
+    const std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == addr.size()) {
+        err = sformat("malformed worker address '%s' "
+                      "(expected host:port)", addr.c_str());
+        return false;
+    }
+    const std::string port_str = addr.substr(colon + 1);
+    char *end = nullptr;
+    long v = std::strtol(port_str.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 1 || v > 65535) {
+        err = sformat("malformed port in worker address '%s'",
+                      addr.c_str());
+        return false;
+    }
+    host = addr.substr(0, colon);
+    port = std::uint16_t(v);
+    return true;
+}
+
+bool
+writeAllFd(int fd, const void *data, std::size_t len, bool is_socket)
+{
+    const char *p = static_cast<const char *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t w = is_socket
+                        ? ::send(fd, p + off, len - off, MSG_NOSIGNAL)
+                        : ::write(fd, p + off, len - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += std::size_t(w);
+    }
+    return true;
+}
+
+int
+listenTcp(const std::string &host, std::uint16_t port, std::string &err)
+{
+    AddrList addrs;
+    if (!resolve(host, port, true, addrs, err))
+        return -1;
+    for (addrinfo *ai = addrs.head; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 16) == 0)
+            return fd;
+        err = sformat("cannot listen on %s:%u: %s", host.c_str(),
+                      unsigned(port), std::strerror(errno));
+        ::close(fd);
+    }
+    if (err.empty())
+        err = sformat("cannot listen on %s:%u", host.c_str(),
+                      unsigned(port));
+    return -1;
+}
+
+std::uint16_t
+boundPort(int listen_fd)
+{
+    sockaddr_storage ss;
+    socklen_t len = sizeof(ss);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&ss),
+                      &len) != 0)
+        return 0;
+    if (ss.ss_family == AF_INET)
+        return ntohs(reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+    if (ss.ss_family == AF_INET6)
+        return ntohs(reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+    return 0;
+}
+
+int
+acceptConn(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0 || errno != EINTR)
+            return fd;
+    }
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port,
+           double timeout_s, std::string &err)
+{
+    AddrList addrs;
+    if (!resolve(host, port, false, addrs, err))
+        return -1;
+    for (addrinfo *ai = addrs.head; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (!setBlocking(fd, false)) {
+            ::close(fd);
+            continue;
+        }
+        int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+            err = sformat("connect to %s:%u failed: %s", host.c_str(),
+                          unsigned(port), std::strerror(errno));
+            ::close(fd);
+            continue;
+        }
+        if (rc != 0) {
+            pollfd p{fd, POLLOUT, 0};
+            const double deadline = monotonicSeconds() + timeout_s;
+            int ready = 0;
+            for (;;) {
+                const double left = deadline - monotonicSeconds();
+                ready = ::poll(&p, 1,
+                               left > 0 ? int(left * 1000) + 1 : 0);
+                if (ready >= 0 || errno != EINTR)
+                    break;
+            }
+            int so_err = 0;
+            socklen_t elen = sizeof(so_err);
+            if (ready > 0)
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err, &elen);
+            if (ready <= 0 || so_err != 0) {
+                err = sformat(
+                    "connect to %s:%u %s", host.c_str(), unsigned(port),
+                    ready <= 0 ? "timed out"
+                               : std::strerror(so_err));
+                ::close(fd);
+                continue;
+            }
+        }
+        if (!setBlocking(fd, true)) {
+            err = sformat("connect to %s:%u: fcntl failed",
+                          host.c_str(), unsigned(port));
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return fd;
+    }
+    if (err.empty())
+        err = sformat("connect to %s:%u failed", host.c_str(),
+                      unsigned(port));
+    return -1;
+}
+
+} // namespace a4

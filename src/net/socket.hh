@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the dispatch layer: EINTR/short-write
+ * safe I/O, bounded non-blocking connect, and ephemeral-port listen.
+ * Nothing here knows about frames or the sweep protocol — it is the
+ * smallest surface the dispatcher and a4worker need to stay honest
+ * about partial reads, interrupted syscalls, and SIGPIPE.
+ */
+
+#ifndef A4_NET_SOCKET_HH
+#define A4_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace a4
+{
+
+/** CLOCK_MONOTONIC now, in seconds — the dispatch layer's only
+ *  clock (deadlines must not jump with wall-clock adjustments). */
+double monotonicSeconds();
+
+/** Parse "host:port" (host may be a name or dotted quad). Returns
+ *  false with a diagnostic in @p err on malformed input. */
+bool parseHostPort(const std::string &addr, std::string &host,
+                   std::uint16_t &port, std::string &err);
+
+/**
+ * Write all of @p len bytes, retrying on EINTR and short writes.
+ * @p is_socket selects send(MSG_NOSIGNAL) over write() so a peer
+ * that vanished mid-write surfaces as EPIPE, not a fatal SIGPIPE.
+ */
+bool writeAllFd(int fd, const void *data, std::size_t len,
+                bool is_socket);
+
+/**
+ * Bind + listen on @p host:@p port (port 0 picks an ephemeral port).
+ * Returns the listening fd, or -1 with a diagnostic in @p err.
+ */
+int listenTcp(const std::string &host, std::uint16_t port,
+              std::string &err);
+
+/** The locally bound port of @p listen_fd (after port-0 binding). */
+std::uint16_t boundPort(int listen_fd);
+
+/** accept() retrying on EINTR; -1 on hard error. */
+int acceptConn(int listen_fd);
+
+/**
+ * Connect to @p host:@p port with a @p timeout_s budget (non-blocking
+ * connect + poll). Returns a blocking connected fd, or -1 with a
+ * diagnostic in @p err.
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               double timeout_s, std::string &err);
+
+} // namespace a4
+
+#endif // A4_NET_SOCKET_HH
