@@ -139,4 +139,35 @@ d["past_events"] = a["past_events"]
 check("realworld-hpw vs fig13", d, fig13)
 EOF
 
+# --- storage-server vs storage_server_sweep Default/b131072 ----------
+# The scenario's base point (scheme Default, 128 KiB blocks) is one
+# cell of the registered sweep; a4sim must land on exactly its values.
+"$A4SIM" storage-server --json "$TMP/ss.json" > /dev/null
+"$BUILD/bench/a4bench" storage_server_sweep --filter "Default/b131072" \
+  --json "$TMP/ss_sweep.json" > /dev/null
+python3 - "$TMP" <<'EOF'
+import json
+import sys
+
+tmp = sys.argv[1]
+a = next(iter(json.load(open(f"{tmp}/ss.json"))["points"]))["metrics"]
+sw = json.load(open(f"{tmp}/ss_sweep.json"))["points"][0]["metrics"]
+wl = {a[f"w{i}.name"]: f"w{i}." for i in range(int(a["workloads"]))}
+scale, meas = a["scale"], a["measure_ns"]
+d = {
+    "ss_perf": a[wl["ss"] + "perf"],
+    "ss_p99_us": a[wl["ss"] + "tail_us"],
+    "ss_leak": a[wl["ss"] + "leak"],
+    "ant_gbps": a[wl["fio"] + "in_bytes"] * 1e9 / meas * scale / 1e9,
+}
+bad = [k for k in d if d[k] != sw[k]]
+if bad:
+    for k in bad:
+        print(f"check_a4sim: storage-server: {k}: a4sim-derived "
+              f"{d[k]!r} != sweep {sw[k]!r}")
+    sys.exit(1)
+print(f"check_a4sim: storage-server vs storage_server_sweep: "
+      f"{len(d)} metrics exactly equal")
+EOF
+
 echo "check_a4sim: OK"

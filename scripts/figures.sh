@@ -42,6 +42,7 @@ BENCHES=(
   fig15_sensitivity
   ablation_replacement
   memcached_value_sweep
+  storage_server_sweep
 )
 
 A4BENCH="$BUILD_DIR/bench/a4bench"

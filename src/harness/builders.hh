@@ -20,6 +20,7 @@
 #include "workload/memcached.hh"
 #include "workload/redis.hh"
 #include "workload/spec.hh"
+#include "workload/storage_server.hh"
 #include "workload/xmem.hh"
 
 namespace a4
@@ -79,6 +80,24 @@ addMemcached(Testbed &bed, const std::string &name,
         bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
         bed.addrs(), nic, scaledDpdkConfig(bed.config().scale, true),
         mc);
+    return bed.adopt(std::move(w));
+}
+
+/** Storage server (NIC receive -> parse -> NVMe -> NIC transmit) on a
+ *  fresh NIC and a fresh SSD array; @p ss is already machine-scale. */
+inline StorageServerWorkload &
+addStorageServer(Testbed &bed, const std::string &name,
+                 StorageServerConfig ss = StorageServerConfig(),
+                 NicConfig nic_cfg = NicConfig(),
+                 SsdConfig ssd_cfg = SsdConfig())
+{
+    Nic &nic = bed.addNic(nic_cfg);
+    SsdArray &ssd = bed.addSsd(ssd_cfg, name + ".ssd");
+    auto w = std::make_unique<StorageServerWorkload>(
+        name, bed.allocWorkloadId(),
+        bed.allocCores(nic_cfg.num_queues), bed.engine(), bed.cache(),
+        bed.addrs(), nic, ssd, scaledDpdkConfig(bed.config().scale, true),
+        ss);
     return bed.adopt(std::move(w));
 }
 

@@ -760,6 +760,36 @@ memcachedSweep()
     return s;
 }
 
+SweepSpec
+storageServerSweep()
+{
+    SweepSpec s;
+    s.name = "storage_server_sweep";
+    s.record = SweepRecordView::Select;
+    s.base = findScenario("storage-server")->spec;
+
+    addAxis(s, "scheme", "scheme", {"Default", "Isolate", "A4-d"});
+    addAxis(s, "block", "ss.block_bytes",
+            {"65536", "131072", "524288"});
+    addGrid(s, "main", "{scheme}/b{block}", {"scheme", "block"});
+
+    metric(s.metrics, "ss_perf", "ss.perf");
+    metric(s.metrics, "ss_p99_us", "ss.lat_p99_us");
+    metric(s.metrics, "ss_leak", "ss.leak");
+    metric(s.metrics, "ant_gbps", "fio.io_rd_gbps");
+
+    text(s, "=== Storage-server block-size sweep (NIC -> NVMe -> NIC "
+            "vs ffsb-heavy FIO antagonist) ===\n");
+    SweepOutput &t = addTable(
+        s, {"scheme", "block", "SS req/s", "SS p99 us", "SS DCA leak",
+            "Antag GB/s"});
+    SweepRowBlock &b = addBlock(t, "main", {"scheme", "block"});
+    b.cells = {cText("{scheme}"),          cText("{block}B"),
+               cell("num", "ss_perf", 0),  cell("num", "ss_p99_us", 1),
+               cell("pct", "ss_leak"),     cell("num", "ant_gbps")};
+    return s;
+}
+
 } // namespace
 
 const std::vector<RegisteredSweep> &
@@ -792,6 +822,9 @@ sweepRegistry()
                         "placement");
         add(memcachedSweep(), "Memcached/UDP value-size sweep (non-"
                               "paper demo)");
+        add(storageServerSweep(), "Storage-server scheme x block "
+                                  "sweep: NIC -> NVMe -> NIC end-to-"
+                                  "end (non-paper demo)");
         return v;
     }();
     return reg;

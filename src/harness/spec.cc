@@ -209,6 +209,51 @@ buildMemcached(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
 }
 
 Workload &
+buildStorageServer(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
+{
+    const unsigned scale = bed.config().scale;
+
+    SsdConfig sc;
+    sc.link_bw_bps = w.num("link_bw_bps", sc.link_bw_bps);
+    sc.parallelism = w.u32("parallelism", sc.parallelism);
+
+    StorageServerConfig ss;
+    // Block size and iodepth come from the ffsb profiles (already
+    // machine-scale, like fio's profile knob); explicit block_bytes
+    // is nominal (paper) bytes and overrides the profile's block.
+    const std::string profile = w.str("profile", "");
+    if (profile == "ffsb-heavy") {
+        const FioConfig fc = ffsbHeavyConfig(scale);
+        ss.block_bytes = fc.block_bytes;
+        ss.iodepth = fc.iodepth;
+    } else if (profile == "ffsb-light") {
+        const FioConfig fc = ffsbLightConfig(scale);
+        ss.block_bytes = fc.block_bytes;
+        ss.iodepth = fc.iodepth;
+    } else if (!profile.empty()) {
+        fatal(sformat("workload '%s': unknown storage-server profile "
+                      "'%s' (want ffsb-heavy or ffsb-light)",
+                      w.name.c_str(), profile.c_str()));
+    } else {
+        ss.block_bytes = scaleBytes(w.u64("block_bytes", 128 * kKiB),
+                                    scale);
+    }
+    if (!profile.empty() && w.find("block_bytes") != nullptr)
+        ss.block_bytes = scaleBytes(w.u64("block_bytes", 0), scale);
+    // Like the memcached store, the record count scales (keeping the
+    // block size) so the map stays LLC-commensurate.
+    ss.num_keys = scaledRedisKeys(w.u64("num_keys", 16384), scale);
+    ss.get_ratio = w.num("get_ratio", ss.get_ratio);
+    ss.mem_frac = w.num("mem_frac", ss.mem_frac);
+    ss.per_op_cpu_ns = w.num("per_op_cpu_ns", ss.per_op_cpu_ns) * scale;
+    ss.zipf_theta = w.num("zipf_theta", ss.zipf_theta);
+    ss.iodepth = w.u32("iodepth", ss.iodepth);
+    ss.ack_bytes = w.u32("ack_bytes", ss.ack_bytes);
+    ss.seed = w.u64("seed", ss.seed);
+    return addStorageServer(bed, w.name, ss, nicConfigFromKnobs(w), sc);
+}
+
+Workload &
 buildXmem(Testbed &bed, const WorkloadSpec &w, BuiltMap &)
 {
     const unsigned variant = w.u32("variant", 1);
@@ -308,6 +353,14 @@ kinds()
           {"value_bytes", 'u'}, {"get_ratio", 'd'}, {"num_keys", 'u'},
           {"per_op_cpu_ns", 'd'}, {"seed", 'u'}},
          buildMemcached},
+        {"storage-server", true, true,
+         {{"packet_bytes", 'u'}, {"offered_gbps", 'd'},
+          {"num_queues", 'u'}, {"ring_entries", 'u'}, {"poisson", 'b'},
+          {"profile", 's'}, {"block_bytes", 'u'}, {"num_keys", 'u'},
+          {"get_ratio", 'd'}, {"mem_frac", 'd'}, {"per_op_cpu_ns", 'd'},
+          {"zipf_theta", 'd'}, {"iodepth", 'u'}, {"ack_bytes", 'u'},
+          {"seed", 'u'}, {"link_bw_bps", 'd'}, {"parallelism", 'u'}},
+         buildStorageServer},
         {"xmem", false, false,
          {{"variant", 'u'}, {"cores", 'u'}, {"seed", 'u'}},
          buildXmem},
@@ -1233,6 +1286,16 @@ runSpecAttempt(const ScenarioSpec &spec, const Windows &win,
             r.egress_bytes =
                 double(sys.ports[wl.ioPort()].egress_bytes);
         }
+        if (auto *ssw = dynamic_cast<StorageServerWorkload *>(&wl)) {
+            // Cross-device workload: the NIC is ioPort(); fold the
+            // storage side's PCIe traffic into the I/O byte totals.
+            if (ssw->ssdPort() < sys.ports.size()) {
+                r.ingress_bytes +=
+                    double(sys.ports[ssw->ssdPort()].ingress_bytes);
+                r.egress_bytes +=
+                    double(sys.ports[ssw->ssdPort()].egress_bytes);
+            }
+        }
         if (auto *fc = dynamic_cast<FastclickWorkload *>(&wl)) {
             r.has_net_breakdown = true;
             r.nic_to_host_ns = fc->nicToHost().mean();
@@ -1548,6 +1611,20 @@ scenarioRegistry()
             v.push_back({"memcached",
                          "Memcached-over-UDP KV server (HPW) fed from "
                          "the NIC against a 1 MiB-block FIO antagonist "
+                         "(LPW)",
+                         std::move(s)});
+        }
+        {
+            ScenarioSpec s;
+            s.name = "storage-server";
+            WorkloadSpec &ss = s.add("ss", "storage-server", true);
+            ss.set("block_bytes", std::uint64_t(128 * kKiB));
+            WorkloadSpec &f = s.add("fio", "fio", false);
+            f.set("profile", std::string("ffsb-heavy"));
+            v.push_back({"storage-server",
+                         "End-to-end storage server (HPW): NIC receive "
+                         "-> parse -> NVMe -> NIC transmit in one QoS "
+                         "domain, against an ffsb-heavy FIO antagonist "
                          "(LPW)",
                          std::move(s)});
         }

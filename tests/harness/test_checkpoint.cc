@@ -134,6 +134,15 @@ TEST(Checkpoint, CpuOnlyRestoredRunIsBitIdentical)
     expectRoundTrip(kindSpec("xmem"), tinyWindows(), "xmem");
 }
 
+TEST(Checkpoint, CrossDeviceStorageServerRestoredRunIsBitIdentical)
+{
+    // NIC- and NVMe-driven at once: in-flight NVMe commands carry
+    // IoTags whose resolver lives in the workload, and the NIC rings
+    // hold undelivered packets — both must round-trip.
+    expectRoundTrip(kindSpec("storage-server"), tinyWindows(),
+                    "storage-server");
+}
+
 TEST(Checkpoint, Fig08StyleA4PointRestoredRunIsBitIdentical)
 {
     expectRoundTrip(fig08StyleSpec(), tinyWindows(), "fig08-style");

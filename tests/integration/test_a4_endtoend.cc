@@ -10,6 +10,7 @@
 #include "duration_scale.hh"
 #include "harness/builders.hh"
 #include "harness/experiment.hh"
+#include "harness/spec.hh"
 #include "harness/testbed.hh"
 
 using namespace a4;
@@ -125,6 +126,38 @@ TEST(A4EndToEnd, DetectsStorageLeakAndDisablesDdio)
     EXPECT_TRUE(bed.ddio().allocatingWrites(dpdk.ioPort()));
     EXPECT_TRUE(mgr.isDemoted(fio.id()));
     EXPECT_EQ(bed.cache().auditInvariants(), 0u);
+}
+
+TEST(A4EndToEnd, FfsbProfilesDisableDcaOnTheHeavyPortOnly)
+{
+    // The ffsb.hh header claims the heavy profile (large blocks, deep
+    // queues) leaks DMA past the eviction horizon while the light one
+    // stays consumable. Alone, neither trips the detector — the leak
+    // needs the LLC pressure of the full real-world tenant mix — so
+    // drive the registered realworld-lpw scenario (ffsb-heavy as the
+    // LPW, ffsb-light among the HPWs) under A4-d. The detector must
+    // act per port: for storage kinds the antagonist flag is set by
+    // exactly the branch that disables the port's DCA, never for the
+    // light profile sharing the same thresholds.
+    const RegisteredScenario *r = findScenario("realworld-lpw");
+    ASSERT_NE(r, nullptr);
+    ScenarioSpec spec = r->spec;
+    applySpecOverride(spec, "scheme=A4-d");
+    applySpecOverride(spec, "a4.monitor_interval_ns=2000000");
+    applySpecOverride(spec, "a4.min_accesses=200");
+    applySpecOverride(spec, "a4.min_dma_lines=200");
+
+    Windows w;
+    w.warmup = stretch(15 * kMsec);
+    w.measure = stretch(25 * kMsec);
+    SpecResult res = runSpecWithWindows(spec, w);
+
+    const SpecWorkloadResult *heavy = res.find("ffsb-h");
+    const SpecWorkloadResult *light = res.find("ffsb-l");
+    ASSERT_NE(heavy, nullptr);
+    ASSERT_NE(light, nullptr);
+    EXPECT_TRUE(heavy->antagonist);
+    EXPECT_FALSE(light->antagonist);
 }
 
 TEST(A4EndToEnd, VariantBLeavesDdioAlone)
