@@ -170,4 +170,60 @@ print(f"check_a4sim: storage-server vs storage_server_sweep: "
       f"{len(d)} metrics exactly equal")
 EOF
 
+# --- fleet-memcached vs fleet_tenant_sweep Default/t32 ---------------
+# The registered fleet scenario (1 frontend + 32 replicated tenants)
+# is the sweep's Default/t32 cell; the sweep's fleet aggregates must
+# equal the same statistics recomputed from a4sim's per-tenant record
+# (identical IEEE-754 operation order), and the frontend's tail/perf
+# must match exactly.
+"$A4SIM" fleet-memcached --json "$TMP/fleet.json" > /dev/null
+"$BUILD/bench/a4bench" fleet_tenant_sweep --filter "Default/t32" \
+  --json "$TMP/fleet_sweep.json" > /dev/null
+python3 - "$TMP" <<'EOF'
+import json
+import math
+import sys
+
+tmp = sys.argv[1]
+a = next(iter(json.load(open(f"{tmp}/fleet.json"))["points"]))["metrics"]
+sw = json.load(open(f"{tmp}/fleet_sweep.json"))["points"][0]["metrics"]
+n = int(a["workloads"])
+wl = {a[f"w{i}.name"]: f"w{i}." for i in range(n)}
+perfs = [a[f"w{i}.perf"] for i in range(n)]
+tails = [a[f"w{i}.tail_us"] for i in range(n) if a[f"w{i}.tail_us"] > 0.0]
+
+s = sq = 0.0
+for x in perfs:
+    s += x
+    sq += x * x
+jain = (s * s) / (float(len(perfs)) * sq)
+
+tails.sort()
+rank = min(max(int(math.ceil(0.99 * float(len(tails)))), 1), len(tails))
+p99 = tails[rank - 1]
+
+# One kind in this scenario (every tenant is memcached-udp), so the
+# per-kind best is the global best.
+best = max(perfs)
+worst = 1.0
+for x in perfs:
+    worst = min(worst, x / best)
+
+d = {
+    "jain": jain,
+    "fleet_p99_us": p99,
+    "worst_slowdown": worst,
+    "fe_p99_us": a[wl["fe"] + "tail_us"],
+    "fe_perf": a[wl["fe"] + "perf"],
+}
+bad = [k for k in d if d[k] != sw[k]]
+if bad:
+    for k in bad:
+        print(f"check_a4sim: fleet-memcached: {k}: a4sim-derived "
+              f"{d[k]!r} != sweep {sw[k]!r}")
+    sys.exit(1)
+print(f"check_a4sim: fleet-memcached vs fleet_tenant_sweep: "
+      f"{len(d)} metrics exactly equal (33 tenants)")
+EOF
+
 echo "check_a4sim: OK"

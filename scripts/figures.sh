@@ -43,6 +43,7 @@ BENCHES=(
   ablation_replacement
   memcached_value_sweep
   storage_server_sweep
+  fleet_tenant_sweep
 )
 
 A4BENCH="$BUILD_DIR/bench/a4bench"

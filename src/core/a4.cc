@@ -141,12 +141,76 @@ A4Manager::closFor(const WlState &w) const
         return w.desc.is_io ? kClosIoHpw : kClosNonIoHpw;
     if (w.antagonist && prm.pseudo_bypass)
         return kClosTrash;
+    if (prm.per_tenant_clos && w.lp_clos != 0)
+        return w.lp_clos;
     return kClosLpw;
+}
+
+bool
+A4Manager::isLpw(const WlState &w) const
+{
+    return w.effective == QosPriority::Low &&
+           !(w.antagonist && prm.pseudo_bypass);
+}
+
+void
+A4Manager::regroupLpTenants()
+{
+    if (!prm.per_tenant_clos)
+        return;
+
+    std::vector<std::size_t> lpws;
+    for (std::size_t i = 0; i < wls.size(); ++i) {
+        if (isLpw(wls[i]))
+            lpws.push_back(i);
+        else
+            wls[i].lp_clos = 0; // left the LP Zone
+    }
+
+    // CLOS 0 is the OS default and 1..kClosTrash are the fixed A4
+    // classes; everything past them is available to LP tenants.
+    const unsigned budget = cat.numClos() > kClosTrash + 1
+                                ? cat.numClos() - (kClosTrash + 1)
+                                : 0;
+    if (budget == 0 || lpws.empty()) {
+        for (std::size_t i : lpws)
+            wls[i].lp_clos = 0; // shared kClosLpw
+        return;
+    }
+
+    // Cluster by observed cache behavior. Before the first monitor
+    // interval every sample is zero, so every tenant looks alike —
+    // groupTenants() still hands out distinct groups while the count
+    // fits the budget, and the id tie-break keeps it deterministic.
+    std::vector<ClosTenant> tenants;
+    tenants.reserve(lpws.size());
+    for (std::size_t i : lpws) {
+        const WlState &w = wls[i];
+        tenants.push_back({w.desc.id, w.last.llcMissRate(),
+                           w.last.missesPerAccess()});
+    }
+    const std::vector<unsigned> grp = groupTenants(tenants, budget);
+
+    bool changed = false;
+    unsigned groups = 0;
+    for (std::size_t k = 0; k < lpws.size(); ++k) {
+        const std::uint32_t want = kClosTrash + 1 + grp[k];
+        if (wls[lpws[k]].lp_clos != want) {
+            wls[lpws[k]].lp_clos = want;
+            changed = true;
+        }
+        groups = std::max(groups, grp[k] + 1);
+    }
+    if (changed)
+        inform(sformat("A4: grouped %zu LP tenants into %u CLOS",
+                       lpws.size(), groups));
 }
 
 void
 A4Manager::applyAllocation()
 {
+    regroupLpTenants();
+
     const CacheGeometry &g = cache.geometry();
     const WayMask full = CatController::fullMask(g.llc_ways);
     const bool io = anyIoHpw() && prm.safeguard_io;
@@ -159,10 +223,19 @@ A4Manager::applyAllocation()
                     io ? CatController::makeMask(g.dca_ways,
                                                  g.llc_ways - 1)
                        : full);
-    cat.setClosMask(kClosLpw, CatController::makeMask(lp_lo, lp_hi));
+    const WayMask lp_mask = CatController::makeMask(lp_lo, lp_hi);
+    cat.setClosMask(kClosLpw, lp_mask);
     cat.setClosMask(kClosTrash,
                     CatController::makeMask(std::min(trash_lo, lp_hi),
                                             lp_hi));
+    // Per-tenant / grouped LP CLOS all carry the LP-Zone mask: the
+    // grouping decides CLOS-id sharing (so per-group occupancy is
+    // observable and the id space never exhausts), not capacity — the
+    // paper's LP-Zone allocation semantics are preserved exactly.
+    for (const auto &w : wls) {
+        if (w.lp_clos != 0)
+            cat.setClosMask(w.lp_clos, lp_mask);
+    }
 
     for (const auto &w : wls) {
         unsigned clos = closFor(w);
@@ -548,6 +621,41 @@ A4Manager::ddioDisabled(PortId port) const
     return !ddio.allocatingWrites(port);
 }
 
+unsigned
+A4Manager::closDemand() const
+{
+    unsigned lpws = 0;
+    for (const auto &w : wls) {
+        if (isLpw(w))
+            ++lpws;
+    }
+    return kClosTrash + 1 + lpws;
+}
+
+unsigned
+A4Manager::lpClosOf(WorkloadId id) const
+{
+    for (const auto &w : wls) {
+        if (w.desc.id == id)
+            return w.lp_clos != 0 ? w.lp_clos : kClosLpw;
+    }
+    return kClosLpw;
+}
+
+unsigned
+A4Manager::lpGroupCount() const
+{
+    std::vector<unsigned> seen;
+    for (const auto &w : wls) {
+        if (!isLpw(w))
+            continue;
+        const unsigned c = w.lp_clos != 0 ? w.lp_clos : kClosLpw;
+        if (std::find(seen.begin(), seen.end(), c) == seen.end())
+            seen.push_back(c);
+    }
+    return static_cast<unsigned>(seen.size());
+}
+
 // --- snapshot hooks --------------------------------------------------------
 
 namespace
@@ -606,6 +714,7 @@ A4Manager::saveState(Serializer &s) const
         s.f64(w.stable_hit);
         s.f64(w.miss_at_detect);
         s.f64(w.ingress_at_detect);
+        s.u32(w.lp_clos);
         saveSample(s, w.last);
     }
     s.u64(last_sys.interval_ns);
@@ -657,6 +766,7 @@ A4Manager::restoreState(Deserializer &d)
         w.stable_hit = d.f64();
         w.miss_at_detect = d.f64();
         w.ingress_at_detect = d.f64();
+        w.lp_clos = d.u32();
         restoreSample(d, w.last);
     }
     last_sys.interval_ns = d.u64();

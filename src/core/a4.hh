@@ -86,6 +86,15 @@ struct A4Params
     bool pseudo_bypass = true;  ///< §5.5 (off = A4-a/b/c)
     /** @} */
 
+    /**
+     * Fleet mode: give each LPW its own CLOS id so per-tenant
+     * occupancy is observable, falling back to IOCA-style grouping
+     * (groupTenants()) when the LPW count exceeds the CLOS the
+     * hardware has left over. Off (the default) keeps the paper's
+     * single shared LPW CLOS.
+     */
+    bool per_tenant_clos = false;
+
     /** Minimum per-interval events before a detector may fire. */
     std::uint64_t min_dma_lines = 1000;
     std::uint64_t min_accesses = 1000;
@@ -142,6 +151,14 @@ class A4Manager
     bool isDemoted(WorkloadId id) const;
     bool ddioDisabled(PortId port) const;
     const A4Params &params() const { return prm; }
+    /** Distinct CLOS the current tenant mix would want: the five
+     *  fixed classes plus one per LPW under per_tenant_clos. */
+    unsigned closDemand() const;
+    /** CLOS id workload @p id currently occupies for the LP Zone
+     *  (kClosLpw when ungrouped / not an LPW / unknown). */
+    unsigned lpClosOf(WorkloadId id) const;
+    /** Distinct CLOS ids in use by LPWs (0 when none). */
+    unsigned lpGroupCount() const;
     /** @} */
 
     /** @name CLOS layout used by the daemon. @{ */
@@ -176,6 +193,9 @@ class A4Manager
         double stable_hit = -1.0;   ///< latest hit rate in Stable
         double miss_at_detect = 0.0;
         double ingress_at_detect = 0.0;
+        /** LP-Zone CLOS under per_tenant_clos (0 = shared kClosLpw).
+         *  Assigned by regroupLpTenants() each reallocation. */
+        std::uint32_t lp_clos = 0;
         WorkloadSample last;
     };
 
@@ -183,7 +203,9 @@ class A4Manager
     void sampleAll();
     bool anyIoHpw() const;
     unsigned closFor(const WlState &w) const;
+    bool isLpw(const WlState &w) const;
     void computeInitialLayout();
+    void regroupLpTenants();
     void applyAllocation();
     void applyRevertAllocation();
     void recordBaselines();

@@ -790,6 +790,44 @@ storageServerSweep()
     return s;
 }
 
+SweepSpec
+fleetTenantSweep()
+{
+    SweepSpec s;
+    s.name = "fleet_tenant_sweep";
+    s.record = SweepRecordView::Select;
+    s.base = findScenario("fleet-memcached")->spec;
+
+    addAxis(s, "scheme", "scheme", {"Default", "A4-d"});
+    addAxis(s, "tenants", "mc.replicate", {"16", "32", "64"});
+    SweepGrid &g =
+        addGrid(s, "main", "{scheme}/t{tenants}", {"scheme", "tenants"});
+    // Per-tenant CLOS under A4: 16+ LP tenants exhaust the 16 CLOS,
+    // so the grouping pass is on the hot path of every A4-d point.
+    set(g, "a4.per_tenant_clos", "1");
+
+    metric(s.metrics, "jain", "sys.jain_fairness");
+    metric(s.metrics, "fleet_p99_us", "sys.fleet_p99_us");
+    metric(s.metrics, "worst_slowdown", "sys.worst_slowdown");
+    metric(s.metrics, "fe_p99_us", "fe.lat_p99_us");
+    metric(s.metrics, "fe_perf", "fe.perf");
+
+    text(s, "=== Fleet tenant-count sweep (1 HPW memcached frontend "
+            "vs N replicated LPW tenants) ===\n");
+    SweepOutput &t = addTable(
+        s, {"scheme", "tenants", "Jain", "fleet p99 us",
+            "worst slowdown", "FE p99 us", "FE req/s"});
+    SweepRowBlock &b = addBlock(t, "main", {"scheme", "tenants"});
+    b.cells = {cText("{scheme}"),
+               cText("{tenants}"),
+               cell("num", "jain", 3),
+               cell("num", "fleet_p99_us", 1),
+               cell("num", "worst_slowdown", 3),
+               cell("num", "fe_p99_us", 1),
+               cell("num", "fe_perf", 0)};
+    return s;
+}
+
 } // namespace
 
 const std::vector<RegisteredSweep> &
@@ -825,6 +863,9 @@ sweepRegistry()
         add(storageServerSweep(), "Storage-server scheme x block "
                                   "sweep: NIC -> NVMe -> NIC end-to-"
                                   "end (non-paper demo)");
+        add(fleetTenantSweep(), "Fleet scheme x tenant-count sweep: "
+                                "fairness and tail aggregates with "
+                                "CLOS grouping (non-paper demo)");
         return v;
     }();
     return reg;

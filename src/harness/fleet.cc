@@ -1,0 +1,105 @@
+#include "harness/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "harness/spec.hh"
+
+namespace a4
+{
+
+double
+FleetMetrics::kindP99(const std::string &kind) const
+{
+    for (const auto &[k, v] : kind_p99_us) {
+        if (k == kind)
+            return v;
+    }
+    return 0.0;
+}
+
+double
+jainIndex(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0, sq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sq += x * x;
+    }
+    if (sq == 0.0)
+        return 0.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sq);
+}
+
+double
+p99Of(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    // Rank ceil(0.99 * n), 1-based: the smallest value with at least
+    // 99% of the samples at or below it.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return xs[rank - 1];
+}
+
+FleetMetrics
+fleetMetrics(const SpecResult &r)
+{
+    FleetMetrics m;
+    m.tenants = r.workloads.size();
+
+    std::vector<double> perfs;
+    std::vector<double> tails;
+    perfs.reserve(r.workloads.size());
+    for (const SpecWorkloadResult &w : r.workloads) {
+        perfs.push_back(w.perf);
+        if (w.tail_latency_us > 0.0)
+            tails.push_back(w.tail_latency_us);
+    }
+    m.jain_fairness = jainIndex(perfs);
+    m.fleet_p99_us = p99Of(tails);
+
+    // Per-kind tails, kind order of first appearance (stable across
+    // runs: the workload list order is part of the spec's identity).
+    for (const SpecWorkloadResult &w : r.workloads) {
+        if (w.tail_latency_us <= 0.0)
+            continue;
+        bool seen = false;
+        for (const auto &[k, v] : m.kind_p99_us)
+            seen = seen || k == w.kind;
+        if (seen)
+            continue;
+        std::vector<double> kind_tails;
+        for (const SpecWorkloadResult &o : r.workloads) {
+            if (o.kind == w.kind && o.tail_latency_us > 0.0)
+                kind_tails.push_back(o.tail_latency_us);
+        }
+        m.kind_p99_us.emplace_back(w.kind, p99Of(kind_tails));
+    }
+
+    // Worst slowdown: each tenant against the best perf among its
+    // own kind (cross-kind perf units are not comparable).
+    double worst = r.workloads.empty() ? 0.0 : 1.0;
+    for (const SpecWorkloadResult &w : r.workloads) {
+        double best = 0.0;
+        for (const SpecWorkloadResult &o : r.workloads) {
+            if (o.kind == w.kind)
+                best = std::max(best, o.perf);
+        }
+        if (best > 0.0)
+            worst = std::min(worst, w.perf / best);
+    }
+    m.worst_slowdown = worst;
+    return m;
+}
+
+} // namespace a4

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fleet-level aggregate metrics over a SpecResult.
+ *
+ * Multi-tenant scenarios (the `replicate=` expansion) produce tens to
+ * hundreds of per-tenant rows; what a fleet operator reads off such a
+ * run is not any single row but the aggregates: the p99 of the
+ * per-tenant tail latencies (and the same per workload kind), the
+ * Jain fairness index over per-tenant performance, and the slowdown
+ * of the worst-off tenant relative to the best tenant of its kind.
+ * fleetMetrics() computes exactly those from a SpecResult; the sweep
+ * layer projects them through `sys.jain_fairness` /
+ * `sys.fleet_p99_us` / `sys.worst_slowdown` / `sys.kind_p99_us.<kind>`
+ * record=select expressions, so they ride the Record codec into
+ * tables and --json like every other metric.
+ */
+
+#ifndef A4_HARNESS_FLEET_HH
+#define A4_HARNESS_FLEET_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace a4
+{
+
+struct SpecResult;
+
+/** Fleet-level aggregates of one spec run. */
+struct FleetMetrics
+{
+    std::size_t tenants = 0; ///< workload rows aggregated
+
+    /**
+     * Jain fairness index (sum x)^2 / (n * sum x^2) over per-tenant
+     * perf: 1.0 when every tenant performs equally, k/n when k of n
+     * tenants split the capacity evenly and the rest starve. 0.0
+     * with no tenants (or all-zero perf).
+     */
+    double jain_fairness = 0.0;
+
+    /** p99 over the per-tenant p99 tail latencies (I/O tenants with
+     *  a nonzero tail; 0.0 when none report one). */
+    double fleet_p99_us = 0.0;
+
+    /** Worst tenant's perf relative to the best tenant of the same
+     *  kind (min over tenants of perf_i / max-same-kind-perf); 1.0
+     *  when every kind's tenants perform equally, 0.0 with no
+     *  tenants. */
+    double worst_slowdown = 0.0;
+
+    /** Per-kind p99 over that kind's tail latencies, kind order of
+     *  first appearance in the result. */
+    std::vector<std::pair<std::string, double>> kind_p99_us;
+
+    /** kind_p99_us lookup; 0.0 when @p kind is absent. */
+    double kindP99(const std::string &kind) const;
+};
+
+/**
+ * Jain fairness index over @p xs: (sum x)^2 / (n * sum x^2).
+ * 0.0 for an empty or all-zero vector.
+ */
+double jainIndex(const std::vector<double> &xs);
+
+/**
+ * p99 of @p xs by rank: sorted ascending, index ceil(0.99*n)-1.
+ * Exact order statistics (no interpolation) so the value is one of
+ * the inputs and byte-stable across platforms. 0.0 when empty.
+ */
+double p99Of(std::vector<double> xs);
+
+/** Compute the fleet aggregates of @p r. */
+FleetMetrics fleetMetrics(const SpecResult &r);
+
+} // namespace a4
+
+#endif // A4_HARNESS_FLEET_HH

@@ -13,7 +13,9 @@
 
 #include "harness/builders.hh"
 #include "harness/checkpoint.hh"
+#include "harness/fleet.hh"
 #include "sim/log.hh"
+#include "sim/rng.hh"
 
 namespace a4
 {
@@ -449,6 +451,7 @@ constexpr A4FieldBool kA4Bools[] = {
     {"safeguard_io", &A4Params::safeguard_io},
     {"selective_ddio", &A4Params::selective_ddio},
     {"pseudo_bypass", &A4Params::pseudo_bypass},
+    {"per_tenant_clos", &A4Params::per_tenant_clos},
 };
 
 /** Set one a4.* field; false when @p key is unknown. */
@@ -588,6 +591,61 @@ validateSpec(const ScenarioSpec &spec, const std::string &origin)
                             "I/O-device kinds, not '%s'",
                             w.name.c_str(), w.name.c_str(),
                             w.kind.c_str()));
+        if (w.replicate > 1) {
+            // Replicas are positioned by the expansion itself; an
+            // explicit rank or way pin cannot apply to all N.
+            if (w.pin)
+                specErr(origin, w.line,
+                        sformat("workload '%s': pin and replicate > 1 "
+                                "cannot combine", w.name.c_str()));
+            if (w.build >= 0)
+                specErr(origin, w.line,
+                        sformat("workload '%s': an explicit build "
+                                "rank and replicate > 1 cannot "
+                                "combine", w.name.c_str()));
+        }
+        for (const SpecKnob &k : w.steps) {
+            const KnobDef *def = nullptr;
+            for (const KnobDef &cand : kd->knobs) {
+                if (k.key == cand.key) {
+                    def = &cand;
+                    break;
+                }
+            }
+            if (def == nullptr)
+                specErr(origin, k.line,
+                        sformat("unknown knob '%s.step.%s' for kind "
+                                "'%s'", w.name.c_str(), k.key.c_str(),
+                                w.kind.c_str()));
+            if (def->type != 'u' && def->type != 'd')
+                specErr(origin, k.line,
+                        sformat("'%s.step.%s': knob '%s' is not "
+                                "numeric", w.name.c_str(),
+                                k.key.c_str(), k.key.c_str()));
+            double d;
+            if (!parseNum(k.value, d))
+                specErr(origin, k.line,
+                        sformat("bad value '%s' for '%s.step.%s' "
+                                "(want a number)", k.value.c_str(),
+                                w.name.c_str(), k.key.c_str()));
+            if (def->type == 'u' &&
+                (d != static_cast<double>(
+                          static_cast<std::int64_t>(d))))
+                specErr(origin, k.line,
+                        sformat("bad value '%s' for '%s.step.%s' "
+                                "(want an integer offset for an "
+                                "integer knob)", k.value.c_str(),
+                                w.name.c_str(), k.key.c_str()));
+            // Offsets apply against an explicit base; stepping a
+            // builder default would leave replica 0 on the default
+            // and the rest counting up from zero.
+            if (w.replicate > 1 && w.find(k.key) == nullptr)
+                specErr(origin, k.line,
+                        sformat("'%s.step.%s' needs an explicit base "
+                                "'%s.%s = ...'", w.name.c_str(),
+                                k.key.c_str(), w.name.c_str(),
+                                k.key.c_str()));
+        }
         for (const SpecKnob &k : w.knobs) {
             const KnobDef *def = nullptr;
             for (const KnobDef &cand : kd->knobs) {
@@ -829,6 +887,14 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
                         sformat("unknown replacement policy '%s' "
                                 "(want lru or srrip)", value.c_str()));
             spec.replacement = value;
+        } else if (key == "cores") {
+            std::uint64_t v;
+            if (!parseU64(value, v) || v == 0 || v > 4096)
+                specErr(origin, line,
+                        sformat("bad value '%s' for cores (want a "
+                                "core budget in 1..4096)",
+                                value.c_str()));
+            spec.cores = static_cast<unsigned>(v);
         } else if (key == "workload") {
             if (!validName(value) || value == "a4")
                 specErr(origin, line,
@@ -860,9 +926,9 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
         } else {
             specErr(origin, line,
                     sformat("unknown key '%s' (want name, scheme, dca, "
-                            "replacement, warmup_ns, measure_ns, "
-                            "workload, drop, a4.*, or <workload>.*)",
-                            key.c_str()));
+                            "replacement, cores, warmup_ns, "
+                            "measure_ns, workload, drop, a4.*, or "
+                            "<workload>.*)", key.c_str()));
         }
         return;
     }
@@ -935,6 +1001,29 @@ applyAssignment(ScenarioSpec &spec, const std::string &key,
                             value.c_str(), prefix.c_str()));
         }
         w->pin = std::make_pair(lo, hi);
+    } else if (sub == "replicate") {
+        std::uint64_t v;
+        if (!parseU64(value, v) || v == 0 || v > 1024)
+            specErr(origin, line,
+                    sformat("bad value '%s' for %s.replicate (want a "
+                            "tenant count in 1..1024)", value.c_str(),
+                            prefix.c_str()));
+        w->replicate = static_cast<unsigned>(v);
+    } else if (sub.rfind("step.", 0) == 0) {
+        const std::string knob = sub.substr(5);
+        if (knob.empty())
+            specErr(origin, line,
+                    sformat("malformed key '%s'", key.c_str()));
+        // A per-replica offset; the schema/numeric check runs with
+        // the rest of the validation once the kind is known.
+        for (SpecKnob &k : w->steps) {
+            if (k.key == knob) {
+                k.value = value;
+                k.line = line;
+                return;
+            }
+        }
+        w->steps.push_back(SpecKnob{knob, value, line});
     } else {
         // A kind knob; the schema/type check runs once the whole
         // spec (and therefore the kind) is known.
@@ -1006,6 +1095,8 @@ serializeSpec(const ScenarioSpec &spec)
         out << "dca = 0\n";
     if (!spec.replacement.empty())
         out << "replacement = " << spec.replacement << "\n";
+    if (spec.cores != 0)
+        out << "cores = " << spec.cores << "\n";
     out << "warmup_ns = " << fmtU64(spec.windows.warmup) << "\n";
     out << "measure_ns = " << fmtU64(spec.windows.measure) << "\n";
     for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
@@ -1021,6 +1112,11 @@ serializeSpec(const ScenarioSpec &spec)
             out << w.name << ".pin = " << w.pin->first << ":"
                 << w.pin->second << "\n";
         }
+        if (w.replicate != 1)
+            out << w.name << ".replicate = " << w.replicate << "\n";
+        for (const SpecKnob &k : w.steps)
+            out << w.name << ".step." << k.key << " = " << k.value
+                << "\n";
         for (const SpecKnob &k : w.knobs)
             out << w.name << "." << k.key << " = " << k.value << "\n";
     }
@@ -1029,6 +1125,89 @@ serializeSpec(const ScenarioSpec &spec)
         serializeA4(out, *spec.a4);
     }
     return out.str();
+}
+
+ScenarioSpec
+expandReplicas(const ScenarioSpec &spec)
+{
+    bool any = false;
+    for (const WorkloadSpec &w : spec.workloads)
+        any = any || w.replicate > 1;
+    if (!any)
+        return spec;
+
+    const std::string origin =
+        spec.name.empty() ? "<replicate>" : spec.name;
+    ScenarioSpec out = spec;
+    out.workloads.clear();
+    for (const WorkloadSpec &w : spec.workloads) {
+        if (w.replicate == 1) {
+            out.workloads.push_back(w);
+            continue;
+        }
+        const KindDef *kd = findKind(w.kind);
+        bool kind_seeded = false;
+        if (kd != nullptr) {
+            for (const KnobDef &def : kd->knobs)
+                kind_seeded =
+                    kind_seeded || std::strcmp(def.key, "seed") == 0;
+        }
+        bool seed_stepped = false;
+        for (const SpecKnob &k : w.steps)
+            seed_stepped = seed_stepped || k.key == "seed";
+        const std::uint64_t base_seed =
+            kind_seeded ? w.u64("seed", 0) : 0;
+
+        for (unsigned i = 0; i < w.replicate; ++i) {
+            WorkloadSpec r = w;
+            r.name = w.name + std::to_string(i);
+            r.replicate = 1;
+            r.steps.clear();
+            for (const SpecKnob &k : w.steps) {
+                const KnobDef *def = nullptr;
+                for (const KnobDef &cand : kd->knobs) {
+                    if (k.key == cand.key) {
+                        def = &cand;
+                        break;
+                    }
+                }
+                double delta;
+                if (def == nullptr || !parseNum(k.value, delta))
+                    specErr(origin, k.line,
+                            sformat("cannot step knob '%s.step.%s'",
+                                    w.name.c_str(), k.key.c_str()));
+                if (def->type == 'u') {
+                    const std::int64_t d =
+                        static_cast<std::int64_t>(delta) *
+                        static_cast<std::int64_t>(i);
+                    const std::int64_t base =
+                        static_cast<std::int64_t>(w.u64(k.key, 0));
+                    if (base + d < 0)
+                        specErr(origin, k.line,
+                                sformat("'%s.step.%s': replica %u "
+                                        "offset drives the knob "
+                                        "negative", w.name.c_str(),
+                                        k.key.c_str(), i));
+                    r.set(k.key,
+                          static_cast<std::uint64_t>(base + d));
+                } else {
+                    r.set(k.key, w.num(k.key, 0.0) + delta * i);
+                }
+            }
+            // Every replica owns a decorrelated stream; replica 0
+            // keeps the base stream so replicate=1 degenerates to
+            // the unreplicated entry. An explicit seed step takes
+            // precedence (it already varied the stream above).
+            if (kind_seeded && !seed_stepped && i > 0)
+                r.set("seed", tenantSeed(base_seed, i));
+            out.workloads.push_back(std::move(r));
+        }
+    }
+    // Expanded names can collide with explicit entries ("mc0" next
+    // to "mc" with replicate=2); revalidation rejects those with the
+    // declaring lines.
+    validateSpec(out, origin);
+    return out;
 }
 
 void
@@ -1122,6 +1301,22 @@ runSpecAttempt(const ScenarioSpec &spec, const Windows &win,
     ServerConfig server_cfg = ServerConfig::fast();
     if (spec.replacement == "srrip")
         server_cfg.geometry.replacement = LlcReplacement::Srrip;
+    // Fleet-scale mixes outgrow the default core and port budgets.
+    // The core budget only sizes the MLC array and the core-bound
+    // checks (the LLC is unaffected), so raising it is behavior-
+    // preserving; the port budget grows to the spec's own I/O demand
+    // and keeps the default floor so unreplicated scenarios keep
+    // their exact historical DDIO image shape.
+    if (spec.cores != 0)
+        server_cfg.geometry.num_cores = spec.cores;
+    unsigned io_ports = 0;
+    for (const WorkloadSpec &w : spec.workloads) {
+        const KindDef *kd = findKind(w.kind);
+        if (kd != nullptr && kd->is_io)
+            io_ports += w.kind == "storage-server" ? 2 : 1;
+    }
+    if (io_ports > server_cfg.max_ports)
+        server_cfg.max_ports = io_ports;
     Testbed bed(server_cfg);
     bed.ddio().setBiosDca(spec.bios_dca);
     const std::size_t n = spec.workloads.size();
@@ -1319,9 +1514,14 @@ runSpecAttempt(const ScenarioSpec &spec, const Windows &win,
 } // namespace
 
 SpecResult
-runSpecWithWindows(const ScenarioSpec &spec, const Windows &win)
+runSpecWithWindows(const ScenarioSpec &raw_spec, const Windows &win)
 {
-    validateSpec(spec, spec.name.empty() ? "<spec>" : spec.name);
+    validateSpec(raw_spec,
+                 raw_spec.name.empty() ? "<spec>" : raw_spec.name);
+    // Tenant replication expands before anything consumes the spec,
+    // so the run — and the checkpoint identity — is the expanded
+    // canonical form.
+    const ScenarioSpec spec = expandReplicas(raw_spec);
     if (spec.workloads.empty())
         fatal(sformat("spec '%s': no workloads",
                       spec.name.empty() ? "<spec>" : spec.name.c_str()));
@@ -1646,6 +1846,79 @@ scenarioRegistry()
                          "protect",
                          std::move(s)});
         }
+
+        // Fleet-scale multi-tenant mixes: the replicate= expansion
+        // stamps out tens of tenants, far past the 16 CLOS the CAT
+        // hardware exposes (per_tenant_clos then exercises the IOCA
+        // grouping pass). Windows are deliberately short: the point
+        // of these mixes is tenant count, not duration.
+        {
+            ScenarioSpec s;
+            s.name = "fleet-memcached";
+            s.cores = 80;
+            s.windows = Windows{50 * kMsec, 20 * kMsec};
+            WorkloadSpec &fe = s.add("fe", "memcached-udp", true);
+            fe.set("num_queues", std::uint64_t(1));
+            fe.set("offered_gbps", 4.0);
+            fe.set("num_keys", std::uint64_t(8192));
+            WorkloadSpec &mc = s.add("mc", "memcached-udp", false);
+            mc.replicate = 32;
+            mc.set("num_queues", std::uint64_t(1));
+            mc.set("offered_gbps", 2.0);
+            mc.set("num_keys", std::uint64_t(8192));
+            mc.set("seed", std::uint64_t(1));
+            v.push_back({"fleet-memcached",
+                         "Fleet of 33 memcached-over-UDP tenants: one "
+                         "HPW frontend vs 32 replicated LPW cache "
+                         "tenants with decorrelated request streams",
+                         std::move(s)});
+        }
+        {
+            ScenarioSpec s;
+            s.name = "fleet-mixed";
+            s.cores = 80;
+            s.windows = Windows{50 * kMsec, 20 * kMsec};
+            WorkloadSpec &fe = s.add("fe", "memcached-udp", true);
+            fe.replicate = 2;
+            fe.set("num_queues", std::uint64_t(1));
+            fe.set("offered_gbps", 4.0);
+            fe.set("num_keys", std::uint64_t(8192));
+            fe.set("seed", std::uint64_t(7));
+            WorkloadSpec &ss = s.add("ss", "storage-server", true);
+            ss.set("num_queues", std::uint64_t(1));
+            ss.set("block_bytes", std::uint64_t(128 * kKiB));
+            WorkloadSpec &mc = s.add("mc", "memcached-udp", false);
+            mc.replicate = 24;
+            mc.set("num_queues", std::uint64_t(1));
+            mc.set("offered_gbps", 2.0);
+            mc.set("num_keys", std::uint64_t(8192));
+            mc.set("value_bytes", std::uint64_t(1024));
+            mc.set("seed", std::uint64_t(1));
+            // Heterogeneous tenants: each replica serves a different
+            // record size (1024, 1040, ... bytes), so the grouping
+            // pass sees a spread of miss behavior, not 24 clones.
+            SpecKnob step;
+            step.key = "value_bytes";
+            step.value = "16";
+            mc.steps.push_back(step);
+            WorkloadSpec &xm = s.add("xm", "xmem", false);
+            xm.replicate = 20;
+            xm.set("variant", std::uint64_t(2));
+            xm.set("cores", std::uint64_t(1));
+            xm.set("seed", std::uint64_t(2));
+            WorkloadSpec &sp = s.add("sp", "spec", false);
+            sp.replicate = 16;
+            sp.set("bench", std::string("lbm"));
+            WorkloadSpec &f = s.add("fio", "fio", false);
+            f.set("num_jobs", std::uint64_t(2));
+            f.set("block_bytes", std::uint64_t(1 * kMiB));
+            v.push_back({"fleet-mixed",
+                         "64-tenant mixed fleet: memcached frontends + "
+                         "a storage server (HPW) vs replicated "
+                         "memcached / X-Mem / SPEC-proxy / FIO LPW "
+                         "tenants",
+                         std::move(s)});
+        }
         return v;
     }();
     return reg;
@@ -1827,8 +2100,9 @@ applySweepAssignment(ScenarioSpec &working, const std::string &key,
 }
 
 /** Known record=select metric fields. */
-const char *const kSweepSysFields[] = {"mem_rd_gbps", "mem_wr_gbps",
-                                       "past_events"};
+const char *const kSweepSysFields[] = {
+    "mem_rd_gbps",  "mem_wr_gbps",    "past_events",
+    "jain_fairness", "fleet_p99_us",  "worst_slowdown"};
 const char *const kSweepWlFields[] = {
     "perf",       "ipc",        "hit",        "miss",
     "mpa",        "leak",       "lat_avg_us", "lat_p99_us",
@@ -2112,6 +2386,14 @@ evalSweepMetric(const SpecResult &r, const std::string &expr)
             return unscaleBw(r.mem_wr_bw_bps, r.scale) / 1e9;
         if (field == "past_events")
             return r.past_events;
+        if (field == "jain_fairness")
+            return fleetMetrics(r).jain_fairness;
+        if (field == "fleet_p99_us")
+            return fleetMetrics(r).fleet_p99_us;
+        if (field == "worst_slowdown")
+            return fleetMetrics(r).worst_slowdown;
+        if (field.rfind("kind_p99_us.", 0) == 0)
+            return fleetMetrics(r).kindP99(field.substr(12));
         fatal(sformat("metric '%s': unknown sys field", expr.c_str()));
     }
     const SpecWorkloadResult *w = r.find(target);
@@ -2155,8 +2437,10 @@ validSweepMetricExpr(const std::string &expr)
     const std::string target = expr.substr(0, dot);
     const std::string field = expr.substr(dot + 1);
     if (target == "sys")
-        return knownField(kSweepSysFields, std::size(kSweepSysFields),
-                          field);
+        return field.rfind("kind_p99_us.", 0) == 0
+                   ? field.size() > 12
+                   : knownField(kSweepSysFields,
+                                std::size(kSweepSysFields), field);
     return knownField(kSweepWlFields, std::size(kSweepWlFields), field);
 }
 

@@ -75,6 +75,21 @@ struct WorkloadSpec
      *  a pin fall back to proportional auto-partitioning. */
     std::optional<std::pair<unsigned, unsigned>> pin;
 
+    /**
+     * Tenant multiplier: expandReplicas() turns this entry into
+     * `replicate` instances named `<name>0..<name>N-1`, each with its
+     * own decorrelated seed stream (tenantSeed()). 1 = unreplicated
+     * (and bit-identical to a spec that predates the knob).
+     */
+    unsigned replicate = 1;
+
+    /**
+     * Per-replica knob offsets (`<wl>.step.<knob> = delta`): replica
+     * i of the expansion gets knob = base + i*delta. Numeric knobs
+     * only; replica 0 always sees the unmodified base value.
+     */
+    std::vector<SpecKnob> steps;
+
     std::vector<SpecKnob> knobs;
     unsigned line = 0; ///< declaring line (0 = programmatic)
 
@@ -110,6 +125,10 @@ struct ScenarioSpec
     /** LLC replacement policy: "" (hardware default = lru), "lru",
      *  or "srrip" (the replacement-policy ablation). */
     std::string replacement;
+
+    /** Core budget override (`cores = N`); 0 = the server default.
+     *  Fleet-scale mixes raise it past the 18-core geometry. */
+    unsigned cores = 0;
 
     /** Nominal windows; runSpec() adjusts them by the environment
      *  knobs (A4_TEST_DURATION_SCALE / A4_BENCH_WINDOWS_MS) exactly
@@ -148,6 +167,20 @@ ScenarioSpec loadSpecFile(const std::string &path);
  * exactly (and, transitively, the identical simulation).
  */
 std::string serializeSpec(const ScenarioSpec &spec);
+
+/**
+ * Expand every `replicate = N` entry into N tenant instances named
+ * `<name>0..<name>N-1` in list order (replica i of entry j precedes
+ * replica 0 of entry j+1). Replicas carry the base entry's knobs
+ * with `step.` offsets applied (base + i*delta) and, for kinds with
+ * a `seed` knob, a derived tenantSeed() stream per replica, so the
+ * expansion is deterministic and seed streams are disjoint. A spec
+ * with no multiplier is returned unchanged. runSpec() expands
+ * internally; the helper is exposed so tests and tools can inspect
+ * the expansion (the checkpoint key and results use the expanded
+ * names).
+ */
+ScenarioSpec expandReplicas(const ScenarioSpec &spec);
 
 /**
  * Apply command-line overrides: each assignment is "scheme=A4-d",

@@ -1,5 +1,8 @@
 #include "rdt/cat.hh"
 
+#include <algorithm>
+#include <numeric>
+
 #include "sim/log.hh"
 
 namespace a4
@@ -98,6 +101,73 @@ CatController::makeMask(unsigned lo_way, unsigned hi_way)
     for (unsigned w = lo_way; w <= hi_way; ++w)
         m |= (1u << w);
     return m;
+}
+
+std::vector<unsigned>
+groupTenants(const std::vector<ClosTenant> &tenants, unsigned budget)
+{
+    if (budget == 0)
+        fatal("groupTenants: zero CLOS budget");
+    const std::size_t n = tenants.size();
+    std::vector<unsigned> group(n, 0);
+    if (n == 0)
+        return group;
+
+    // Sort by similarity signal; id breaks every tie so equal signals
+    // (e.g. the all-zero samples before the first monitor interval)
+    // still order deterministically.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const ClosTenant &ta = tenants[a];
+                  const ClosTenant &tb = tenants[b];
+                  if (ta.miss_rate != tb.miss_rate)
+                      return ta.miss_rate < tb.miss_rate;
+                  if (ta.mpa != tb.mpa)
+                      return ta.mpa < tb.mpa;
+                  return ta.id < tb.id;
+              });
+
+    if (n <= budget) {
+        for (std::size_t r = 0; r < n; ++r)
+            group[order[r]] = static_cast<unsigned>(r);
+        return group;
+    }
+
+    // Split the sorted sequence at the budget-1 widest gaps: the
+    // resulting runs are the groups (classic 1-D single-linkage
+    // clustering, exact and deterministic).
+    std::vector<std::size_t> gaps(n - 1);
+    std::iota(gaps.begin(), gaps.end(), std::size_t{0});
+    auto gapMiss = [&](std::size_t i) {
+        return tenants[order[i + 1]].miss_rate -
+               tenants[order[i]].miss_rate;
+    };
+    auto gapMpa = [&](std::size_t i) {
+        return tenants[order[i + 1]].mpa - tenants[order[i]].mpa;
+    };
+    std::sort(gaps.begin(), gaps.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (gapMiss(a) != gapMiss(b))
+                      return gapMiss(a) > gapMiss(b);
+                  if (gapMpa(a) != gapMpa(b))
+                      return gapMpa(a) > gapMpa(b);
+                  return a < b;
+              });
+    gaps.resize(budget - 1);
+    std::sort(gaps.begin(), gaps.end());
+
+    unsigned g = 0;
+    std::size_t cut = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        group[order[r]] = g;
+        if (cut < gaps.size() && gaps[cut] == r) {
+            ++g;
+            ++cut;
+        }
+    }
+    return group;
 }
 
 std::string

@@ -117,6 +117,31 @@ class CatController
     std::vector<unsigned> core_clos;
 };
 
+/** One tenant's observed signals for CLOS grouping. */
+struct ClosTenant
+{
+    unsigned id = 0;        ///< stable tie-break (workload id)
+    double miss_rate = 0.0; ///< observed LLC miss rate
+    double mpa = 0.0;       ///< observed LLC misses per MLC access
+};
+
+/**
+ * IOCA-style tenant grouping under CLOS exhaustion: cluster
+ * @p tenants into at most @p budget groups by miss-rate/MPA
+ * similarity (hardware exposes ~16 CLOS; a fleet-scale tenant count
+ * cannot get one each, so tenants with similar cache behavior share
+ * one).
+ *
+ * The tenants sort by (miss_rate, mpa, id) and the sorted sequence
+ * splits at the budget-1 widest miss-rate gaps (ties broken by MPA
+ * gap, then by position), so the clustering is deterministic for
+ * deterministic inputs. Returns one group index in [0, budget) per
+ * tenant, parallel to the input order; with budget >= tenants each
+ * tenant gets its own group. @p budget must be nonzero.
+ */
+std::vector<unsigned> groupTenants(const std::vector<ClosTenant> &tenants,
+                                   unsigned budget);
+
 } // namespace a4
 
 #endif // A4_RDT_CAT_HH

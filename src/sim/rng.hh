@@ -140,6 +140,27 @@ mixSeed(std::uint64_t base)
     return z ^ (z >> 31);
 }
 
+/**
+ * Derived seed for replica @p idx of a replicated spec entry whose
+ * own stream is @p base (the `replicate=` expansion).
+ *
+ * Replica 0 keeps the base stream — `replicate = 1` stays
+ * bit-identical to the unreplicated entry — and each further replica
+ * mixes (base, idx) splitmix64-style into its own decorrelated
+ * stream. The derived value travels through the expanded spec's
+ * ordinary `seed` knob, so mixSeed()/$A4_SEED still compose on top.
+ */
+inline std::uint64_t
+tenantSeed(std::uint64_t base, std::uint64_t idx)
+{
+    if (idx == 0)
+        return base;
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * idx;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 } // namespace a4
 
 #endif // A4_SIM_RNG_HH

@@ -36,7 +36,7 @@ namespace a4
 {
 
 /** Bump whenever any save/restore pair changes its stream shape. */
-constexpr std::uint32_t kSnapshotFormatVersion = 1;
+constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /**
  * Raised on any snapshot mismatch: tag drift, truncation, section
